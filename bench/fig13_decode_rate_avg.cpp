@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Regenerates Figure 13: the average task decode rate over all nine
+ * benchmarks versus the number of TRSs and ORTs, against the target
+ * rate limits for 128 and 256 processors (computed from Table I's
+ * minimum task runtimes, section II: ~58 ns/task for 256p).
+ *
+ * Expected shape: single-TRS configurations serialize all task-graph
+ * operations (~1366 cy in the paper); adding TRSs helps even with one
+ * ORT; 8 TRS + 2 ORT crosses below the 256-processor limit line —
+ * the design point used for the rest of the evaluation.
+ *
+ * Usage: fig13_decode_rate_avg [--quick|--full|--scale=X] [--csv]
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "driver/cli.hh"
+#include "driver/experiment.hh"
+#include "driver/table.hh"
+#include "trace/trace_stats.hh"
+
+int
+main(int argc, char **argv)
+{
+    tss::CliArgs args(argc, argv);
+    // The rate metric stabilizes with a few thousand tasks; large
+    // traces only slow the 28-configuration sweep down.
+    double scale = args.scale(0.05, 0.25, 0.1);
+
+    const std::vector<unsigned> trs_counts = {1, 2, 4, 8, 16, 32, 64};
+    const std::vector<unsigned> ort_counts = {1, 2, 4, 8};
+
+    std::cout << "Figure 13: average decode rate over all benchmarks"
+              << " (scale=" << scale << ")\n\n";
+
+    // Generate all traces once.
+    std::vector<tss::TaskTrace> traces;
+    double min_runtime_sum = 0;
+    for (const auto &info : tss::allWorkloads()) {
+        tss::WorkloadParams params;
+        params.scale = scale;
+        params.seed = args.getLong("seed", 1);
+        traces.push_back(info.generate(params));
+        min_runtime_sum +=
+            tss::TraceStats::compute(traces.back()).minRuntimeUs;
+    }
+    double avg_min_us = min_runtime_sum / traces.size();
+
+    std::vector<std::string> header{"#TRS"};
+    for (unsigned orts : ort_counts)
+        header.push_back(std::to_string(orts) + " ORT [cy/task]");
+    tss::TablePrinter table(std::move(header));
+
+    for (unsigned trss : trs_counts) {
+        std::vector<std::string> row{std::to_string(trss)};
+        for (unsigned orts : ort_counts) {
+            double sum = 0;
+            for (const auto &trace : traces) {
+                tss::PipelineConfig cfg = tss::paperConfig(256);
+                cfg.numTrs = trss;
+                cfg.numOrt = orts;
+                // Decode-capability probe: oversize the storage so
+                // window-capacity stalls (Figures 14/15's subject)
+                // do not pollute the rate metric.
+                cfg.trsTotalBytes = 24u * 1024 * 1024;
+                cfg.ortTotalBytes = 4u * 1024 * 1024;
+                cfg.ovtTotalBytes = 4u * 1024 * 1024;
+                sum += tss::runHardware(cfg, trace).decodeRateCycles;
+            }
+            row.push_back(tss::TablePrinter::num(
+                sum / static_cast<double>(traces.size())));
+        }
+        table.addRow(row);
+    }
+
+    if (args.has("csv"))
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+
+    auto limit = [&](unsigned p) {
+        return tss::defaultClock.nsToCycles(avg_min_us * 1000.0 / p);
+    };
+    std::cout << "\nRate limit lines (avg shortest task "
+              << tss::TablePrinter::num(avg_min_us) << " us): 128p = "
+              << limit(128) << " cy/task, 256p = " << limit(256)
+              << " cy/task\n";
+    std::cout << "Paper reference: ~1366 cy at 1 TRS; 8 TRS + 2 ORT "
+              << "suffices for 256 processors (< 60 ns = 192 cy).\n";
+    return 0;
+}

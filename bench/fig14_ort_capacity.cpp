@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Regenerates Figure 14: speedup on 256 processors as a function of
+ * the total ORT capacity (16 KB .. 1 MB), for Cholesky, H264, and the
+ * average over all benchmarks. The OVT capacity scales along with the
+ * ORT capacity (the paper found the OVTs need "a similar capacity").
+ *
+ * Expected shape: speedup grows with ORT capacity (bigger window ->
+ * more parallelism) and flattens once task execution reaches
+ * equilibrium with task generation: at ~128 KB for Cholesky, ~512 KB
+ * for H264 and the average.
+ *
+ * Usage: fig14_ort_capacity [--quick|--full|--scale=X] [--csv]
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "driver/cli.hh"
+#include "driver/experiment.hh"
+#include "driver/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    tss::CliArgs args(argc, argv);
+    double scale = args.scale(0.1, 1.0, 0.4);
+
+    const std::vector<tss::Bytes> capacities_kb = {16,  32,  64, 128,
+                                                   256, 512, 1024};
+
+    std::cout << "Figure 14: effect of total ORT size on performance"
+              << " (scale=" << scale << ", 256 cores)\n\n";
+
+    std::vector<std::string> header{"ORT capacity"};
+    header.push_back("Cholesky");
+    header.push_back("H264");
+    header.push_back("Average");
+    tss::TablePrinter table(std::move(header));
+
+    // Generate all traces once; the average column covers all nine.
+    std::vector<tss::TaskTrace> traces;
+    std::size_t cholesky_idx = 0, h264_idx = 0;
+    for (const auto &info : tss::allWorkloads()) {
+        tss::WorkloadParams params;
+        params.scale = scale;
+        params.seed = args.getLong("seed", 1);
+        if (info.name == "Cholesky")
+            cholesky_idx = traces.size();
+        if (info.name == "H264")
+            h264_idx = traces.size();
+        traces.push_back(info.generate(params));
+    }
+
+    for (tss::Bytes kb : capacities_kb) {
+        std::vector<double> speedups;
+        double sum = 0;
+        for (const auto &trace : traces) {
+            tss::PipelineConfig cfg = tss::paperConfig(256);
+            cfg.ortTotalBytes = kb * 1024;
+            cfg.ovtTotalBytes = kb * 1024;
+            double s = tss::runHardware(cfg, trace).speedup;
+            speedups.push_back(s);
+            sum += s;
+        }
+        table.addRow({std::to_string(kb) + " KB",
+                      tss::TablePrinter::num(speedups[cholesky_idx]),
+                      tss::TablePrinter::num(speedups[h264_idx]),
+                      tss::TablePrinter::num(
+                          sum / static_cast<double>(traces.size()))});
+    }
+
+    if (args.has("csv"))
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    std::cout << "\nPaper reference: flattens at 128 KB (Cholesky) and "
+              << "512 KB (H264, average); 512 KB is the chosen "
+              << "operating point.\n";
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Regenerates Figure 3 / section II's analytic decode model: for a
+ * machine with P processors running tasks of duration T, sustaining
+ * full utilization requires decoding a task every R = T / P. The
+ * harness prints the decode-rate targets for each benchmark's
+ * shortest tasks across machine sizes, and cross-checks the model
+ * against a simulated run of synthetic fixed-length tasks.
+ *
+ * Usage: fig3_decode_model [--csv]
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "driver/cli.hh"
+#include "driver/experiment.hh"
+#include "driver/table.hh"
+#include "trace/trace_stats.hh"
+#include "workload/address_space.hh"
+#include "workload/builder.hh"
+
+namespace
+{
+
+/** Independent fixed-runtime tasks: utilization is decode-limited. */
+tss::TaskTrace
+fixedTasks(unsigned count, double runtime_us)
+{
+    tss::TaskTrace trace;
+    trace.name = "fixed";
+    auto kernel = trace.addKernel("t");
+    tss::TaskBuilder b(trace);
+    tss::AddressSpace mem;
+    for (unsigned i = 0; i < count; ++i) {
+        b.begin(kernel, tss::defaultClock.usToCycles(runtime_us))
+            .out(mem.alloc(4096), 4096);
+        b.commit();
+    }
+    return trace;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    tss::CliArgs args(argc, argv);
+    const std::vector<unsigned> machines = {32, 64, 128, 256};
+
+    std::cout << "Figure 3 / section II: required decode rate "
+              << "R = T / P\n\n";
+
+    tss::TablePrinter table({"Benchmark", "T_min (us)", "R@32p (ns)",
+                             "R@64p (ns)", "R@128p (ns)",
+                             "R@256p (ns)"});
+    double min_sum = 0;
+    for (const auto &info : tss::allWorkloads()) {
+        tss::WorkloadParams params;
+        params.scale = 0.1;
+        tss::TaskTrace trace = info.generate(params);
+        tss::TraceStats stats = tss::TraceStats::compute(trace);
+        min_sum += stats.minRuntimeUs;
+        std::vector<std::string> row{
+            info.name, tss::TablePrinter::num(stats.minRuntimeUs, 0)};
+        for (unsigned p : machines)
+            row.push_back(tss::TablePrinter::num(
+                stats.decodeRateLimitNs(p), 0));
+        table.addRow(row);
+    }
+    double avg_min = min_sum / tss::allWorkloads().size();
+    std::vector<std::string> row{"Average",
+                                 tss::TablePrinter::num(avg_min, 0)};
+    for (unsigned p : machines)
+        row.push_back(
+            tss::TablePrinter::num(avg_min * 1000.0 / p, 0));
+    table.addRow(row);
+
+    if (args.has("csv"))
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+
+    // Cross-check: simulate P-core machines fed with fixed 15 us
+    // tasks; utilization should track min(1, T / (R_actual * P)).
+    std::cout << "\nModel cross-check (independent 15 us tasks):\n";
+    tss::TablePrinter check({"P", "decode (ns/task)", "model speedup",
+                             "measured speedup"});
+    tss::TaskTrace trace = fixedTasks(6000, 15.0);
+    for (unsigned p : machines) {
+        tss::PipelineConfig cfg = tss::paperConfig(p);
+        tss::RunResult result = tss::runHardware(cfg, trace);
+        double model = std::min<double>(
+            p, 15000.0 / result.decodeRateNs);
+        check.addRow({std::to_string(p),
+                      tss::TablePrinter::num(result.decodeRateNs),
+                      tss::TablePrinter::num(model),
+                      tss::TablePrinter::num(result.speedup)});
+    }
+    check.print(std::cout);
+    std::cout << "\nPaper reference: 15 us average shortest task "
+              << "=> 58 ns/task decode target for 256 processors.\n";
+    return 0;
+}

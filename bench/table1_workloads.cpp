@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Regenerates Table I of the paper: per-benchmark task data size,
+ * runtime distribution (min/median/average), and the decode-rate
+ * limit for a 256-way CMP (R = T_min / 256). Also reports the task
+ * and operand counts of the generated traces, plus the aggregate row
+ * ("the shortest tasks of all benchmarks average at 15 us" =>
+ * 58 ns/task target, paper section II).
+ *
+ * Usage: table1_workloads [--quick|--full|--scale=X] [--csv]
+ */
+
+#include <iostream>
+
+#include "driver/cli.hh"
+#include "driver/table.hh"
+#include "trace/trace_stats.hh"
+#include "workload/workload.hh"
+
+int
+main(int argc, char **argv)
+{
+    tss::CliArgs args(argc, argv);
+    double scale = args.scale(0.1, 1.0, 1.0);
+
+    std::cout << "Table I: benchmark applications and task statistics"
+              << " (scale=" << scale << ")\n\n";
+
+    tss::TablePrinter table({"Name", "Class", "Tasks", "MemOps/Task",
+                             "Data KB (avg)", "Min us", "Med us",
+                             "Avg us", "Decode ns (256p)"});
+
+    double min_sum = 0;
+    double data_sum = 0;
+    double data_sum_no_specfem = 0;
+    double med_sum = 0, avg_sum = 0, rate_sum = 0;
+    unsigned count = 0;
+
+    for (const auto &info : tss::allWorkloads()) {
+        tss::WorkloadParams params;
+        params.scale = scale;
+        params.seed = args.getLong("seed", 1);
+        tss::TaskTrace trace = info.generate(params);
+        tss::TraceStats stats = tss::TraceStats::compute(trace);
+
+        table.addRow({info.name, info.className,
+                      tss::TablePrinter::num(
+                          static_cast<std::uint64_t>(stats.numTasks)),
+                      tss::TablePrinter::num(stats.avgOperands),
+                      tss::TablePrinter::num(stats.avgDataKB, 0),
+                      tss::TablePrinter::num(stats.minRuntimeUs, 0),
+                      tss::TablePrinter::num(stats.medRuntimeUs, 0),
+                      tss::TablePrinter::num(stats.avgRuntimeUs, 0),
+                      tss::TablePrinter::num(
+                          stats.decodeRateLimitNs(256), 0)});
+
+        min_sum += stats.minRuntimeUs;
+        med_sum += stats.medRuntimeUs;
+        avg_sum += stats.avgRuntimeUs;
+        data_sum += stats.avgDataKB;
+        if (info.name != "SPECFEM")
+            data_sum_no_specfem += stats.avgDataKB;
+        rate_sum += stats.decodeRateLimitNs(256);
+        ++count;
+    }
+
+    double n = count;
+    table.addRow({"Average", "", "", "",
+                  tss::TablePrinter::num(data_sum / n, 0),
+                  tss::TablePrinter::num(min_sum / n, 0),
+                  tss::TablePrinter::num(med_sum / n, 0),
+                  tss::TablePrinter::num(avg_sum / n, 0),
+                  tss::TablePrinter::num(rate_sum / n, 0)});
+
+    if (args.has("csv"))
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+
+    std::cout << "\nAverage data size excluding SPECFEM: "
+              << tss::TablePrinter::num(data_sum_no_specfem / (n - 1), 0)
+              << " KB (paper: 32 KB)\n";
+    std::cout << "Paper reference row: avg data 110 KB, runtimes "
+              << "15/45/53 us, decode limit 58 ns/task\n";
+    return 0;
+}

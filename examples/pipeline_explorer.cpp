@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Interactive exploration of the task superscalar design space: run
+ * any of the nine paper benchmarks through the pipeline (and the
+ * software-runtime baseline) with every knob on the command line.
+ *
+ * Usage:
+ *   pipeline_explorer --workload=Cholesky --scale=0.3 --cores=256 \
+ *       --trs=8 --ort=2 --trs-kb=6144 --ort-kb=512 [--sw] [--csv]
+ */
+
+#include <iostream>
+
+#include "driver/cli.hh"
+#include "driver/experiment.hh"
+#include "driver/table.hh"
+#include "graph/dataflow_limit.hh"
+#include "graph/dep_graph.hh"
+#include "trace/trace_stats.hh"
+
+int
+main(int argc, char **argv)
+{
+    tss::CliArgs args(argc, argv);
+
+    std::string name = args.get("workload", "Cholesky");
+    double scale = args.getDouble("scale", 0.3);
+    auto cores = static_cast<unsigned>(args.getLong("cores", 256));
+
+    tss::TaskTrace trace =
+        tss::makeWorkload(name, scale, args.getLong("seed", 1));
+    tss::TraceStats tstats = tss::TraceStats::compute(trace);
+
+    tss::PipelineConfig cfg = tss::paperConfig(cores);
+    cfg.numTrs = static_cast<unsigned>(args.getLong("trs", cfg.numTrs));
+    cfg.numOrt = static_cast<unsigned>(args.getLong("ort", cfg.numOrt));
+    cfg.trsTotalBytes = 1024 *
+        static_cast<tss::Bytes>(args.getLong("trs-kb", 6144));
+    cfg.ortTotalBytes = 1024 *
+        static_cast<tss::Bytes>(args.getLong("ort-kb", 512));
+    cfg.ovtTotalBytes = 1024 *
+        static_cast<tss::Bytes>(args.getLong("ovt-kb", 512));
+    cfg.renameOutputs = !args.has("no-rename");
+    cfg.consumerChaining = !args.has("no-chaining");
+
+    std::cout << "workload " << name << ": " << trace.size()
+              << " tasks, avg data "
+              << tss::TablePrinter::num(tstats.avgDataKB) << " KB, "
+              << "runtime min/med/avg "
+              << tss::TablePrinter::num(tstats.minRuntimeUs) << "/"
+              << tss::TablePrinter::num(tstats.medRuntimeUs) << "/"
+              << tss::TablePrinter::num(tstats.avgRuntimeUs)
+              << " us\n";
+
+    tss::DepGraph graph = tss::DepGraph::build(trace);
+    tss::DataflowSchedule limit = tss::computeDataflowLimit(trace, graph);
+    std::cout << "dataflow limit: parallelism "
+              << tss::TablePrinter::num(limit.parallelism())
+              << ", ideal speedup on " << cores << " cores "
+              << tss::TablePrinter::num(limit.speedupBound(cores))
+              << "\n\n";
+
+    tss::Pipeline pipeline(cfg, trace);
+    tss::RunResult hw = pipeline.run();
+    std::cout << "task superscalar (" << cfg.numTrs << " TRS, "
+              << cfg.numOrt << " ORT/OVT, " << cores << " cores):\n"
+              << "  speedup            "
+              << tss::TablePrinter::num(hw.speedup) << "\n"
+              << "  decode rate        "
+              << tss::TablePrinter::num(hw.decodeRateCycles)
+              << " cycles/task ("
+              << tss::TablePrinter::num(hw.decodeRateNs) << " ns)\n"
+              << "  window occupancy   "
+              << tss::TablePrinter::num(hw.avgTasksInFlight)
+              << " avg / "
+              << tss::TablePrinter::num(hw.peakTasksInFlight)
+              << " peak tasks\n"
+              << "  chain length       p95 "
+              << tss::TablePrinter::num(hw.chainP95) << ", max "
+              << tss::TablePrinter::num(hw.chainMax) << "\n"
+              << "  TRS fragmentation  "
+              << tss::TablePrinter::num(hw.avgFragmentation * 100)
+              << "%\n"
+              << "  1-cycle allocs     "
+              << tss::TablePrinter::num(hw.sramHitRate * 100) << "%\n"
+              << "  stalls (cycles)    gateway(ORT-full) "
+              << hw.gatewayStallCycles << ", window-full "
+              << hw.allocWaitCycles << ", thread-blocked "
+              << hw.sourceStallCycles << "\n"
+              << "  renamed versions   " << hw.versionsRenamed << " / "
+              << hw.versionsCreated << ", DMA write-backs "
+              << hw.dmaWritebacks << "\n"
+              << "  NoC messages       " << hw.messagesOnNoc
+              << ", events " << hw.eventsExecuted << "\n";
+
+    if (args.has("modstats")) {
+        std::cout << "\n";
+        pipeline.dumpStats(std::cout);
+    }
+
+    if (args.has("sw")) {
+        tss::SwRuntimeConfig sw_cfg;
+        sw_cfg.numCores = cores;
+        tss::SwRunResult sw = tss::runSoftware(sw_cfg, trace);
+        std::cout << "\nsoftware runtime (" << cores << " cores):\n"
+                  << "  speedup            "
+                  << tss::TablePrinter::num(sw.speedup) << "\n"
+                  << "  decode rate        "
+                  << tss::TablePrinter::num(sw.decodeRateCycles)
+                  << " cycles/task\n";
+    }
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Trace utility: generate any of the nine benchmarks and save it as a
+ * portable text trace, load traces back, print their Table I
+ * statistics, or export the dependency graph as DOT. Lets downstream
+ * users replay identical task streams across machines and runs.
+ *
+ * Usage:
+ *   trace_tools --workload=FFT --scale=0.2 --save=fft.trace
+ *   trace_tools --load=fft.trace [--stats] [--dot]
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "driver/cli.hh"
+#include "driver/experiment.hh"
+#include "driver/table.hh"
+#include "graph/dataflow_limit.hh"
+#include "graph/dep_graph.hh"
+#include "graph/dot_export.hh"
+#include "trace/trace_io.hh"
+#include "trace/trace_stats.hh"
+
+int
+main(int argc, char **argv)
+{
+    tss::CliArgs args(argc, argv);
+
+    tss::TaskTrace trace;
+    if (args.has("load")) {
+        trace = tss::loadTrace(args.get("load", ""));
+    } else {
+        trace = tss::makeWorkload(args.get("workload", "Cholesky"),
+                                  args.getDouble("scale", 0.2),
+                                  args.getLong("seed", 1));
+    }
+
+    if (args.has("save")) {
+        tss::saveTrace(args.get("save", "out.trace"), trace);
+        std::cerr << "saved " << trace.size() << " tasks to "
+                  << args.get("save", "out.trace") << "\n";
+    }
+
+    if (args.has("dot")) {
+        tss::DepGraph graph = tss::DepGraph::build(trace);
+        tss::writeDot(std::cout, trace, graph);
+        return 0;
+    }
+
+    // Default action: print the trace's statistics.
+    tss::TraceStats stats = tss::TraceStats::compute(trace);
+    tss::DepGraph graph = tss::DepGraph::build(trace);
+    tss::DataflowSchedule limit =
+        tss::computeDataflowLimit(trace, graph);
+
+    std::cout << "trace " << trace.name << "\n"
+              << "  tasks              " << stats.numTasks << "\n"
+              << "  kernels            " << trace.kernelNames.size()
+              << "\n"
+              << "  avg data           "
+              << tss::TablePrinter::num(stats.avgDataKB) << " KB\n"
+              << "  runtime min/med/avg "
+              << tss::TablePrinter::num(stats.minRuntimeUs) << "/"
+              << tss::TablePrinter::num(stats.medRuntimeUs) << "/"
+              << tss::TablePrinter::num(stats.avgRuntimeUs) << " us\n"
+              << "  mem operands/task  "
+              << tss::TablePrinter::num(stats.avgOperands) << "\n"
+              << "  decode limit @256p "
+              << tss::TablePrinter::num(stats.decodeRateLimitNs(256))
+              << " ns/task\n"
+              << "  dependency edges   " << graph.numEdges() << "\n"
+              << "  parallelism        "
+              << tss::TablePrinter::num(limit.parallelism()) << "\n"
+              << "  critical path      "
+              << tss::TablePrinter::num(
+                     tss::defaultClock.cyclesToUs(limit.criticalPath))
+              << " us\n";
+    return 0;
+}

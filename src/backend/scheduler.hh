@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The backend queuing system and task scheduler. Ready tasks are
+ * pushed into a Carbon-like centralized queue (paper section IV-B.5)
+ * and dispatched to worker cores; each core may hold one prefetched
+ * task to hide the dispatch round trip. Task stealing is not
+ * supported, matching the paper.
+ */
+
+#ifndef TSS_BACKEND_SCHEDULER_HH
+#define TSS_BACKEND_SCHEDULER_HH
+
+#include <deque>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/module.hh"
+
+namespace tss
+{
+
+/** The ready-queue/scheduler tile. */
+class Scheduler : public FrontendModule
+{
+  public:
+    Scheduler(std::string name, EventQueue &eq, Network &network,
+              NodeId node, const PipelineConfig &config)
+        : FrontendModule(std::move(name), eq, network, node),
+          cfg(config)
+    {}
+
+    void
+    setWorkers(std::vector<NodeId> worker_nodes)
+    {
+        workerNodes = std::move(worker_nodes);
+        outstanding.assign(workerNodes.size(), 0);
+    }
+
+    std::size_t queuedTasks() const { return readyq.size(); }
+    std::uint64_t tasksDispatched() const { return dispatched.value(); }
+    const Distribution &queueDepthStat() const { return queueDepth; }
+
+  protected:
+    Service
+    process(ProtoMsg &msg) override
+    {
+        switch (msg.type) {
+          case MsgType::TaskReady: {
+            auto &ready = static_cast<TaskReadyMsg &>(msg);
+            readyq.push_back(ready.id);
+            queueDepth.sample(static_cast<double>(readyq.size()));
+            dispatchAll();
+            return {cfg.dispatchOverhead, false};
+          }
+          case MsgType::CoreIdle: {
+            auto &idle = static_cast<CoreIdleMsg &>(msg);
+            TSS_ASSERT(outstanding[idle.core] > 0,
+                       "idle message from an unloaded core");
+            --outstanding[idle.core];
+            dispatchAll();
+            return {cfg.dispatchOverhead, false};
+          }
+          default:
+            panic("scheduler: unexpected message type %d",
+                  static_cast<int>(msg.type));
+        }
+    }
+
+  private:
+    void
+    dispatchAll()
+    {
+        unsigned cap = 1 + cfg.corePrefetch;
+        while (!readyq.empty()) {
+            // Least-loaded placement: idle cores first, then prefetch
+            // slots of busy cores (hides the dispatch round trip).
+            unsigned best = 0;
+            unsigned best_load = cap;
+            for (unsigned core = 0; core < workerNodes.size();
+                 ++core) {
+                unsigned rr = (core + nextCoreRr) %
+                    static_cast<unsigned>(workerNodes.size());
+                if (outstanding[rr] < best_load) {
+                    best_load = outstanding[rr];
+                    best = rr;
+                    if (best_load == 0)
+                        break;
+                }
+            }
+            if (best_load >= cap)
+                break;
+            nextCoreRr = best + 1;
+            ++outstanding[best];
+            TaskId id = readyq.front();
+            readyq.pop_front();
+            ++dispatched;
+            sendMsg(workerNodes[best],
+                    std::make_unique<DispatchTaskMsg>(id));
+        }
+    }
+
+    const PipelineConfig &cfg;
+    std::vector<NodeId> workerNodes;
+
+    /// Tasks dispatched to each core and not yet re-announced idle.
+    std::vector<unsigned> outstanding;
+    unsigned nextCoreRr = 0;
+    std::deque<TaskId> readyq;
+
+    Counter dispatched;
+    Distribution queueDepth;
+};
+
+} // namespace tss
+
+#endif // TSS_BACKEND_SCHEDULER_HH

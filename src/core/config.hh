@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Configuration of the task superscalar pipeline: module counts,
+ * storage capacities, and the latency constants of the paper's
+ * simulated platform (Table II), plus behaviour switches used by the
+ * ablation benches.
+ */
+
+#ifndef TSS_CORE_CONFIG_HH
+#define TSS_CORE_CONFIG_HH
+
+#include "mem/block_layout.hh"
+#include "sim/types.hh"
+
+namespace tss
+{
+
+/** Full pipeline + backend configuration. */
+struct PipelineConfig
+{
+    /// @name Frontend structure (paper section VI-A's chosen design
+    /// point: 8 TRSs and 2 ORT/OVT pairs suffice for 256 cores).
+    /// @{
+    unsigned numTrs = 8;
+    unsigned numOrt = 2; ///< ORT/OVT pairs (each OVT serves one ORT)
+    /// @}
+
+    /// @name Storage capacities (totals across all instances).
+    /// @{
+    Bytes trsTotalBytes = 6 * 1024 * 1024;  ///< 6 MB (section VI-B)
+    Bytes ortTotalBytes = 512 * 1024;       ///< 512 KB (section VI-B)
+    Bytes ovtTotalBytes = 512 * 1024;       ///< "similar capacity"
+    /// @}
+
+    /// @name Module geometry. Entry sizes follow the paper's tag
+    /// layout (two 64 B tag blocks per 16-way set: 8 B of tag per
+    /// way, plus packed operand-id/version meta-data).
+    /// @{
+    unsigned ortWays = 16;       ///< ORT set associativity
+    Bytes ortEntryBytes = 16;    ///< per tracked object
+    Bytes ovtEntryBytes = 16;    ///< per live version
+    /// @}
+
+    /// @name Timing (Table II).
+    /// @{
+    Cycle edramLatency = 22;   ///< per eDRAM access
+    Cycle packetLatency = 16;  ///< module processing per packet
+    /// @}
+
+    /// @name Gateway / task-generating thread.
+    /// @{
+    unsigned gatewayBufferTasks = 20; ///< 1 KB buffer, >20 tasks
+    Cycle taskGenBaseCycles = 96;     ///< thread-side cost per task
+    Cycle taskGenPerOperandCycles = 8;
+    /// @}
+
+    /// @name Backend.
+    /// @{
+    unsigned numCores = 256;
+    unsigned corePrefetch = 1;   ///< Carbon-like per-core queue depth
+    Cycle dispatchOverhead = 16; ///< scheduler packet processing
+
+    /// Heterogeneous CMP support (the paper's future-work direction:
+    /// "managing heterogeneous CMPs at a higher level of
+    /// abstraction"). The first numBigCores run at full speed; the
+    /// remainder execute tasks slower by littleSpeedFactor (< 1).
+    /// Defaults give a homogeneous machine.
+    unsigned numBigCores = ~0u;     ///< clamped to numCores
+    double littleSpeedFactor = 1.0; ///< relative speed of the rest
+
+    /** Execution-speed factor of a core (1.0 = nominal). */
+    double
+    coreSpeed(unsigned core) const
+    {
+        unsigned big = numBigCores > numCores ? numCores : numBigCores;
+        return core < big ? 1.0 : littleSpeedFactor;
+    }
+    /// @}
+
+    /// @name Behaviour switches (ablations; defaults = the paper).
+    /// @{
+    bool renameOutputs = true;    ///< rename `output` operands
+    bool consumerChaining = true; ///< chain consumers vs OVT fan-out
+    bool eagerWriteback = true;   ///< DMA copy-back of quiescent
+                                  ///< final renamed versions
+    /// @}
+
+    /// @name OVT rename-buffer region.
+    /// @{
+    Bytes renameRegionBytes = Bytes(1) << 32; ///< OS-assigned space
+    /// @}
+
+    /** TRS storage blocks per TRS instance. */
+    std::uint32_t
+    blocksPerTrs() const
+    {
+        return static_cast<std::uint32_t>(
+            trsTotalBytes / numTrs / layout::blockBytes);
+    }
+
+    /** ORT object entries per ORT instance. */
+    std::uint32_t
+    entriesPerOrt() const
+    {
+        return static_cast<std::uint32_t>(
+            ortTotalBytes / numOrt / ortEntryBytes);
+    }
+
+    /** OVT version slots per OVT instance. */
+    std::uint32_t
+    slotsPerOvt() const
+    {
+        return static_cast<std::uint32_t>(
+            ovtTotalBytes / numOrt / ovtEntryBytes);
+    }
+
+    /**
+     * NoC tiles used by the frontend: the gateway, the TRSs, the
+     * ORT/OVT pairs, and the task scheduler (backend queuing system).
+     */
+    unsigned
+    frontendTiles() const
+    {
+        return 2 + numTrs + 2 * numOrt;
+    }
+
+    /// @name Frontend tile indices on the NoC.
+    /// @{
+    unsigned gatewayTile() const { return 0; }
+    unsigned trsTile(unsigned i) const { return 1 + i; }
+    unsigned ortTile(unsigned i) const { return 1 + numTrs + i; }
+    unsigned ovtTile(unsigned i) const { return 1 + numTrs + numOrt + i; }
+    unsigned schedulerTile() const { return 1 + numTrs + 2 * numOrt; }
+    /// @}
+};
+
+} // namespace tss
+
+#endif // TSS_CORE_CONFIG_HH

@@ -1,0 +1,229 @@
+#include "gateway.hh"
+
+namespace tss
+{
+
+namespace
+{
+
+std::uint64_t
+mixAddress(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+Gateway::Gateway(std::string name, EventQueue &eq, Network &network,
+                 NodeId node_id, const PipelineConfig &config,
+                 TaskRegistry &task_registry,
+                 FrontendStats &frontend_stats)
+    : SimObject(std::move(name), eq), cfg(config),
+      registry(task_registry), stats(frontend_stats), net(network),
+      node(node_id)
+{
+    net.attach(node, *this);
+    trsFree.assign(cfg.numTrs, cfg.blocksPerTrs());
+}
+
+unsigned
+Gateway::ortIndexFor(std::uint64_t addr, unsigned num_ort)
+{
+    return static_cast<unsigned>(mixAddress(addr) % num_ort);
+}
+
+void
+Gateway::receive(MessagePtr msg)
+{
+    auto *proto = static_cast<ProtoMsg *>(msg.release());
+    pendingMsgs.emplace_back(proto);
+    workLoop();
+}
+
+void
+Gateway::finishWork(Cycle cost)
+{
+    busy = true;
+    scheduleIn(cost, [this] {
+        busy = false;
+        workLoop();
+    });
+}
+
+bool
+Gateway::tryAlloc()
+{
+    for (auto &task : buffer) {
+        if (task.state != TaskState::NeedAlloc)
+            continue;
+        const TraceTask &tt =
+            registry.taskTrace().tasks[task.traceIndex];
+        unsigned blocks = layout::blocksForOperands(
+            static_cast<unsigned>(tt.operands.size()));
+
+        // Round-robin over the TRSs that have room (the paper keeps a
+        // queue of TRSs with free space and picks the first).
+        for (unsigned i = 0; i < cfg.numTrs; ++i) {
+            unsigned trs = (nextTrsRr + i) % cfg.numTrs;
+            if (trsFree[trs] >= blocks) {
+                trsFree[trs] -= blocks;
+                nextTrsRr = (trs + 1) % cfg.numTrs;
+                task.state = TaskState::AllocPending;
+                auto req = std::make_unique<AllocRequestMsg>(
+                    task.traceIndex,
+                    static_cast<unsigned>(tt.operands.size()));
+                req->src = node;
+                req->dst = trsNodes[trs];
+                net.send(std::move(req));
+                if (allocWaiting) {
+                    allocWaiting = false;
+                    allocWait += curCycle() - allocWaitStart;
+                }
+                return true;
+            }
+        }
+        // The window is full: remember when the wait began. Only the
+        // first unallocated task matters; later ones queue behind it.
+        if (!allocWaiting) {
+            allocWaiting = true;
+            allocWaitStart = curCycle();
+        }
+        return false;
+    }
+    return false;
+}
+
+bool
+Gateway::issueOperandOf(GwTask &task)
+{
+    const TraceTask &tt = registry.taskTrace().tasks[task.traceIndex];
+    if (task.nextOp < tt.operands.size()) {
+        const TraceOperand &op = tt.operands[task.nextOp];
+        OperandId oid;
+        oid.task = task.id;
+        oid.index = static_cast<std::uint8_t>(task.nextOp);
+        ++task.nextOp;
+
+        if (isMemoryOperand(op.dir)) {
+            unsigned ort = ortIndexFor(op.addr, cfg.numOrt);
+            auto msg = std::make_unique<DecodeOperandMsg>(
+                oid, op.dir, op.addr, op.bytes);
+            msg->src = node;
+            msg->dst = ortNodes[ort];
+            net.send(std::move(msg));
+        } else {
+            auto msg = std::make_unique<ScalarOperandMsg>(oid);
+            msg->src = node;
+            msg->dst = trsNodes[task.id.trs];
+            net.send(std::move(msg));
+        }
+    }
+    return task.nextOp >= tt.operands.size();
+}
+
+bool
+Gateway::tryIssue()
+{
+    if (buffer.empty() || stallTokens > 0)
+        return false;
+
+    // Find, per generating thread, the oldest buffered task; only
+    // those tasks may issue (in-order decode within a thread).
+    // Round-robin over the threads for fairness.
+    for (unsigned k = 0; k < numThreads; ++k) {
+        unsigned thread = (nextThreadRr + k) % numThreads;
+        for (auto it = buffer.begin(); it != buffer.end(); ++it) {
+            if (it->thread != thread)
+                continue;
+            // Oldest task of this thread.
+            if (it->state != TaskState::Issuing)
+                break; // not ready to issue: thread must wait
+            bool done = issueOperandOf(*it);
+            if (done) {
+                // Task fully distributed: free the buffer entry and
+                // return the credit to its generating thread.
+                auto credit = std::make_unique<GatewayCreditMsg>();
+                credit->src = node;
+                credit->dst = it->sourceNode;
+                net.send(std::move(credit));
+                buffer.erase(it);
+            }
+            nextThreadRr = (thread + 1) % numThreads;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Gateway::workLoop()
+{
+    if (busy)
+        return;
+
+    // 1. Incoming messages first (cheap control work).
+    if (!pendingMsgs.empty()) {
+        std::unique_ptr<ProtoMsg> msg = std::move(pendingMsgs.front());
+        pendingMsgs.pop_front();
+        switch (msg->type) {
+          case MsgType::TaskSubmit: {
+            auto &submit = static_cast<TaskSubmitMsg &>(*msg);
+            TSS_ASSERT(buffer.size() < cfg.gatewayBufferTasks,
+                       "gateway buffer overflow (credit bug)");
+            GwTask task;
+            task.traceIndex = submit.traceIndex;
+            task.thread = submit.thread;
+            task.sourceNode = submit.src;
+            buffer.push_back(task);
+            break;
+          }
+          case MsgType::AllocReply: {
+            auto &reply = static_cast<AllocReplyMsg &>(*msg);
+            for (auto &task : buffer) {
+                if (task.traceIndex == reply.traceIndex) {
+                    TSS_ASSERT(task.state == TaskState::AllocPending,
+                               "unexpected alloc reply");
+                    task.state = TaskState::Issuing;
+                    task.id = reply.id;
+                    break;
+                }
+            }
+            break;
+          }
+          case MsgType::TrsSpace: {
+            auto &space = static_cast<TrsSpaceMsg &>(*msg);
+            trsFree[space.trs] += space.freedBlocks;
+            break;
+          }
+          case MsgType::GatewayStall:
+            ++stallTokens;
+            break;
+          case MsgType::GatewayResume:
+            TSS_ASSERT(stallTokens > 0, "spurious gateway resume");
+            --stallTokens;
+            break;
+          default:
+            panic("gateway: unexpected message type %d",
+                  static_cast<int>(msg->type));
+        }
+        finishWork(cfg.packetLatency);
+        return;
+    }
+
+    // 2. Distribute operands of the oldest task, in program order.
+    if (tryIssue()) {
+        finishWork(cfg.packetLatency);
+        return;
+    }
+
+    // 3. Send an allocation request for a buffered task.
+    if (tryAlloc()) {
+        finishWork(cfg.packetLatency);
+        return;
+    }
+}
+
+} // namespace tss

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Pipeline Gateway: admits tasks from the task-generating thread into
+ * a small internal buffer, allocates TRS space (exact block
+ * accounting, so allocation never fails), and issues operands to the
+ * address-hashed ORTs strictly in program order — the in-order decode
+ * requirement of section III-B. Allocation requests overlap with
+ * operand issue thanks to the non-blocking protocol (section IV-B.1).
+ */
+
+#ifndef TSS_CORE_GATEWAY_HH
+#define TSS_CORE_GATEWAY_HH
+
+#include <deque>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/task_registry.hh"
+#include "core/trs.hh"
+
+namespace tss
+{
+
+/** The pipeline gateway tile. */
+class Gateway : public SimObject, public Endpoint
+{
+  public:
+    Gateway(std::string name, EventQueue &eq, Network &network,
+            NodeId node, const PipelineConfig &config,
+            TaskRegistry &task_registry, FrontendStats &frontend_stats);
+
+    void
+    setPeers(std::vector<NodeId> trs_nodes,
+             std::vector<NodeId> ort_nodes, unsigned num_threads = 1)
+    {
+        trsNodes = std::move(trs_nodes);
+        ortNodes = std::move(ort_nodes);
+        numThreads = num_threads;
+    }
+
+    void receive(MessagePtr msg) override;
+
+    /// @name Introspection.
+    /// @{
+    std::size_t bufferedTasks() const { return buffer.size(); }
+    bool stalled() const { return stallTokens > 0; }
+    Cycle allocWaitCycles() const { return allocWait; }
+    /// @}
+
+    /** ORT index an operand address hashes to. */
+    static unsigned ortIndexFor(std::uint64_t addr, unsigned num_ort);
+
+  private:
+    /** Lifecycle of a task inside the gateway buffer. */
+    enum class TaskState : std::uint8_t
+    {
+        NeedAlloc,    ///< no allocation request sent yet
+        AllocPending, ///< waiting for the TRS reply
+        Issuing,      ///< operands being distributed in order
+    };
+
+    struct GwTask
+    {
+        std::uint32_t traceIndex = 0;
+        TaskState state = TaskState::NeedAlloc;
+        TaskId id;
+        unsigned nextOp = 0;
+        unsigned thread = 0;          ///< generating thread
+        NodeId sourceNode = invalidNode;
+    };
+
+    void workLoop();
+    void finishWork(Cycle cost);
+
+    /** Try to send one allocation request; true if work was done. */
+    bool tryAlloc();
+
+    /**
+     * Issue the next operand of the oldest issuable task. Decode is
+     * in-order *per generating thread*: a task may only distribute
+     * operands once every earlier task of its own thread has fully
+     * issued (it is its thread's oldest buffered task). Threads are
+     * served round-robin.
+     */
+    bool tryIssue();
+
+    /** Issue one operand of @p task; true when the task completed. */
+    bool issueOperandOf(GwTask &task);
+
+    const PipelineConfig &cfg;
+    TaskRegistry &registry;
+    FrontendStats &stats;
+    Network &net;
+    NodeId node;
+
+    std::vector<NodeId> trsNodes;
+    std::vector<NodeId> ortNodes;
+    unsigned numThreads = 1;
+    unsigned nextThreadRr = 0; ///< fairness over generating threads
+
+    std::deque<GwTask> buffer;
+    std::deque<std::unique_ptr<ProtoMsg>> pendingMsgs;
+
+    /// Estimated free blocks per TRS (credit scheme; exact because
+    /// the gateway is the only allocator and frees only add).
+    std::vector<std::uint32_t> trsFree;
+    unsigned nextTrsRr = 0; ///< round-robin over TRSs with space
+
+    unsigned stallTokens = 0;
+    bool busy = false;
+
+    Cycle allocWait = 0;          ///< cycles with tasks blocked on space
+    Cycle allocWaitStart = 0;
+    bool allocWaiting = false;
+};
+
+} // namespace tss
+
+#endif // TSS_CORE_GATEWAY_HH

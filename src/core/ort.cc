@@ -1,0 +1,276 @@
+#include "ort.hh"
+
+namespace tss
+{
+
+namespace
+{
+
+/** splitmix64 finalizer: spreads object base addresses over sets. */
+std::uint64_t
+mixAddress(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+Ort::Ort(std::string name, EventQueue &eq, Network &network, NodeId node,
+         unsigned ort_index, const PipelineConfig &config,
+         FrontendStats &frontend_stats)
+    : FrontendModule(std::move(name), eq, network, node),
+      ortIndex(ort_index), cfg(config), stats(frontend_stats),
+      edram(config.ortTotalBytes / config.numOrt, config.edramLatency)
+{
+    std::uint32_t total = cfg.entriesPerOrt();
+    numSets = std::max<std::uint32_t>(1, total / cfg.ortWays);
+    entries.assign(std::size_t(numSets) * cfg.ortWays, Entry{});
+
+    std::uint32_t slots = cfg.slotsPerOvt();
+    freeSlots.reserve(slots);
+    for (std::uint32_t s = slots; s > 0; --s)
+        freeSlots.push_back(s - 1);
+    readersIssued.assign(slots, 0);
+    slotEpoch.assign(slots, 0);
+}
+
+std::size_t
+Ort::liveEntries() const
+{
+    std::size_t n = 0;
+    for (const auto &e : entries)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+std::uint32_t
+Ort::setIndexOf(std::uint64_t addr) const
+{
+    // The gateway distributes operands over ORTs with the low mixed
+    // bits; sets use the next bits so they stay uncorrelated.
+    return static_cast<std::uint32_t>(
+        (mixAddress(addr) >> 16) % numSets);
+}
+
+Ort::Entry *
+Ort::lookup(std::uint64_t addr, bool &hit, std::uint32_t &index)
+{
+    std::uint32_t set = setIndexOf(addr);
+    Entry *base = &entries[std::size_t(set) * cfg.ortWays];
+
+    for (unsigned w = 0; w < cfg.ortWays; ++w) {
+        if (base[w].valid && base[w].addr == addr) {
+            hit = true;
+            index = set * cfg.ortWays + w;
+            return &base[w];
+        }
+    }
+    hit = false;
+    // Prefer an invalid way, then a reclaimable (dead object) way.
+    for (unsigned w = 0; w < cfg.ortWays; ++w) {
+        if (!base[w].valid) {
+            index = set * cfg.ortWays + w;
+            return &base[w];
+        }
+    }
+    for (unsigned w = 0; w < cfg.ortWays; ++w) {
+        if (base[w].liveVersions == 0) {
+            sampleChain(base[w]);
+            base[w] = Entry{};
+            index = set * cfg.ortWays + w;
+            return &base[w];
+        }
+    }
+    return nullptr;
+}
+
+void
+Ort::sampleChain(Entry &entry)
+{
+    if (entry.valid && entry.hasCurVersion)
+        stats.chainConsumers.sample(entry.chainHops);
+}
+
+Ort::Service
+Ort::process(ProtoMsg &msg)
+{
+    switch (msg.type) {
+      case MsgType::DecodeOperand:
+        return handleDecode(static_cast<DecodeOperandMsg &>(msg));
+      case MsgType::VersionDead:
+        return handleVersionDead(static_cast<VersionDeadMsg &>(msg));
+      case MsgType::VersionQuiescent:
+        return handleQuiescent(static_cast<VersionQuiescentMsg &>(msg));
+      default:
+        panic("ORT %u: unexpected message type %d", ortIndex,
+              static_cast<int>(msg.type));
+    }
+}
+
+Ort::Service
+Ort::handleDecode(DecodeOperandMsg &msg)
+{
+    // Two sequential 64 B tag-block reads per lookup (section IV-B.3).
+    Cycle cost = cfg.packetLatency + edram.read(2);
+
+    bool hit = false;
+    std::uint32_t index = 0;
+    Entry *entry = lookup(msg.addr, hit, index);
+
+    bool needs_version = !hit || !entry || !entry->hasCurVersion ||
+        writesObject(msg.dir);
+    bool blocked = !entry || (needs_version && freeSlots.empty());
+    if (blocked) {
+        // Full set (or no version credits): stall the gateway until a
+        // version dies, leaving the packet parked at the head.
+        if (!stallSent) {
+            stallSent = true;
+            stallStarted = curCycle();
+            ++stalls;
+            ++stats.gatewayStallEvents;
+            sendMsg(gatewayNode, std::make_unique<GatewayStallMsg>());
+        }
+        return {cost, true};
+    }
+
+    if (stallSent) {
+        stallSent = false;
+        stats.gatewayStallCycles += curCycle() - stallStarted;
+        sendMsg(gatewayNode, std::make_unique<GatewayResumeMsg>());
+    }
+
+    if (!entry->valid) {
+        entry->valid = true;
+        entry->addr = msg.addr;
+    }
+
+    VersionRef cur{static_cast<std::uint16_t>(ortIndex),
+                   entry->curVersion};
+
+    if (readsObject(msg.dir) && !writesObject(msg.dir)) {
+        // Pure input operand (Figure 8).
+        if (entry->hasCurVersion) {
+            ++readersIssued[entry->curVersion];
+            sendMsg(ovtNode, std::make_unique<AddReaderMsg>(
+                entry->curVersion, msg.op));
+            OperandId chain_to =
+                cfg.consumerChaining ? entry->lastUser : OperandId{};
+            if (cfg.consumerChaining)
+                ++entry->chainHops;
+            sendMsg(trsNodes[msg.op.task.trs],
+                    std::make_unique<OperandInfoMsg>(
+                        msg.op, msg.dir, msg.objectBytes, cur, chain_to,
+                        false, 0));
+        } else {
+            // Miss (or all versions dead): the data rests in memory.
+            std::uint32_t slot = freeSlots.back();
+            freeSlots.pop_back();
+            readersIssued[slot] = 1;
+            sendMsg(ovtNode, std::make_unique<CreateVersionMsg>(
+                slot, slotEpoch[slot], OperandId{}, msg.addr,
+                msg.objectBytes, false, false, 0, index));
+            sendMsg(ovtNode,
+                    std::make_unique<AddReaderMsg>(slot, msg.op));
+            entry->hasCurVersion = true;
+            entry->curVersion = slot;
+            ++entry->liveVersions;
+            entry->chainHops = 0;
+            VersionRef v0{static_cast<std::uint16_t>(ortIndex), slot};
+            sendMsg(trsNodes[msg.op.task.trs],
+                    std::make_unique<OperandInfoMsg>(
+                        msg.op, msg.dir, msg.objectBytes, v0,
+                        OperandId{}, true, msg.addr));
+        }
+    } else {
+        // Writer: output or inout (Figures 7 and 9).
+        bool in_place = msg.dir == Dir::InOut || !cfg.renameOutputs;
+        bool has_prev = entry->hasCurVersion;
+        std::uint32_t prev = entry->curVersion;
+
+        std::uint32_t slot = freeSlots.back();
+        freeSlots.pop_back();
+        readersIssued[slot] = 0;
+
+        bool reads = readsObject(msg.dir);
+        OperandId chain_to;
+        bool ready_now = false;
+        if (reads) {
+            if (has_prev && cfg.consumerChaining) {
+                chain_to = entry->lastUser;
+                ++entry->chainHops; // the inout joins the old chain
+            } else if (!has_prev) {
+                ready_now = true; // input data rests in memory
+            }
+        }
+
+        if (has_prev)
+            sampleChain(*entry); // close the superseded version's chain
+
+        sendMsg(ovtNode, std::make_unique<CreateVersionMsg>(
+            slot, slotEpoch[slot], msg.op, msg.addr, msg.objectBytes,
+            !in_place, has_prev, prev, index));
+
+        VersionRef produced{static_cast<std::uint16_t>(ortIndex), slot};
+        auto info = std::make_unique<OperandInfoMsg>(
+            msg.op, msg.dir, msg.objectBytes, produced, chain_to,
+            ready_now, 0);
+        if (reads && has_prev) {
+            info->waitVersion =
+                VersionRef{static_cast<std::uint16_t>(ortIndex), prev};
+        }
+        sendMsg(trsNodes[msg.op.task.trs], std::move(info));
+
+        entry->hasCurVersion = true;
+        entry->curVersion = slot;
+        ++entry->liveVersions;
+        entry->chainHops = 0;
+    }
+
+    entry->lastUser = msg.op;
+    cost += edram.write(); // entry update
+    return {cost, false};
+}
+
+Ort::Service
+Ort::handleVersionDead(VersionDeadMsg &msg)
+{
+    freeSlots.push_back(msg.slot);
+    ++slotEpoch[msg.slot];
+    Entry &entry = entries[msg.ortEntry];
+    TSS_ASSERT(entry.valid && entry.liveVersions > 0,
+               "version death for idle ORT entry");
+    --entry.liveVersions;
+    if (entry.hasCurVersion && entry.curVersion == msg.slot) {
+        sampleChain(entry);
+        entry.hasCurVersion = false;
+    }
+    unpark();
+    return {cfg.packetLatency, false};
+}
+
+Ort::Service
+Ort::handleQuiescent(VersionQuiescentMsg &msg)
+{
+    Entry &entry = entries[msg.ortEntry];
+    // Grant retirement only if the hint is fresh (same slot
+    // incarnation), this is still the current version, and every
+    // reader registration we ever issued for the slot has been seen
+    // by the OVT (none in flight). Otherwise deny silently; the
+    // in-flight reader's eventual release re-arms the hint.
+    bool fresh = slotEpoch[msg.slot] == msg.epoch;
+    bool current = entry.valid && entry.hasCurVersion &&
+        entry.curVersion == msg.slot;
+    if (fresh && current && readersIssued[msg.slot] == msg.readersSeen) {
+        sampleChain(entry);
+        entry.hasCurVersion = false;
+        sendMsg(ovtNode,
+                std::make_unique<RetireVersionMsg>(msg.slot,
+                                                   msg.epoch));
+    }
+    return {cfg.packetLatency, false};
+}
+
+} // namespace tss

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Object Renaming Table: the task-level analogue of the register
+ * renaming table. Maps operand base addresses to the most recent user
+ * and the live version of each memory object; 16-way associative,
+ * never evicts live entries, and stalls the gateway when a set fills
+ * up (paper section IV-B.3).
+ */
+
+#ifndef TSS_CORE_ORT_HH
+#define TSS_CORE_ORT_HH
+
+#include <vector>
+
+#include "core/config.hh"
+#include "core/module.hh"
+#include "core/trs.hh"
+#include "mem/edram.hh"
+#include "sim/stats.hh"
+
+namespace tss
+{
+
+/** One ORT tile plus the version-slot credit pool of its paired OVT. */
+class Ort : public FrontendModule
+{
+  public:
+    Ort(std::string name, EventQueue &eq, Network &network, NodeId node,
+        unsigned ort_index, const PipelineConfig &config,
+        FrontendStats &frontend_stats);
+
+    void
+    setPeers(NodeId gateway, std::vector<NodeId> trs_nodes,
+             NodeId paired_ovt)
+    {
+        gatewayNode = gateway;
+        trsNodes = std::move(trs_nodes);
+        ovtNode = paired_ovt;
+    }
+
+    /// @name Introspection for tests.
+    /// @{
+    std::size_t liveEntries() const;
+    std::size_t freeVersionSlots() const { return freeSlots.size(); }
+    std::uint64_t stallEvents() const { return stalls.value(); }
+    /// @}
+
+  protected:
+    Service process(ProtoMsg &msg) override;
+
+    bool
+    isControl(MsgType type) const override
+    {
+        return type == MsgType::VersionDead ||
+            type == MsgType::VersionQuiescent;
+    }
+
+  private:
+    /** One tracked memory object. */
+    struct Entry
+    {
+        bool valid = false;
+        std::uint64_t addr = 0;
+        OperandId lastUser;
+        bool hasCurVersion = false;
+        std::uint32_t curVersion = 0;
+        std::uint32_t liveVersions = 0;
+        unsigned chainHops = 0; ///< consumers chained on curVersion
+    };
+
+    Service handleDecode(DecodeOperandMsg &msg);
+    Service handleVersionDead(VersionDeadMsg &msg);
+    Service handleQuiescent(VersionQuiescentMsg &msg);
+
+    /**
+     * Locate the entry for @p addr: a hit, a free/reclaimable way, or
+     * nullptr when the set is full of live objects.
+     */
+    Entry *lookup(std::uint64_t addr, bool &hit, std::uint32_t &index);
+
+    std::uint32_t setIndexOf(std::uint64_t addr) const;
+
+    void sampleChain(Entry &entry);
+
+    unsigned ortIndex;
+    const PipelineConfig &cfg;
+    FrontendStats &stats;
+    Edram edram;
+
+    NodeId gatewayNode = invalidNode;
+    NodeId ovtNode = invalidNode;
+    std::vector<NodeId> trsNodes;
+
+    std::uint32_t numSets;
+    std::vector<Entry> entries; ///< numSets x ways
+
+    std::vector<std::uint32_t> freeSlots; ///< OVT slot credits
+
+    /// AddReader messages issued per version slot (retire handshake).
+    std::vector<std::uint32_t> readersIssued;
+
+    /// Slot incarnation counters; stale retirement hints are ignored.
+    std::vector<std::uint32_t> slotEpoch;
+
+    bool stallSent = false;
+    Cycle stallStarted = 0;
+    Counter stalls;
+};
+
+} // namespace tss
+
+#endif // TSS_CORE_ORT_HH

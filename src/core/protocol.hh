@@ -1,0 +1,411 @@
+/**
+ * @file
+ * The asynchronous point-to-point protocol of the task superscalar
+ * frontend (paper Figures 6-9). Every message carries the location of
+ * the queried datum in the destination module, so no module except
+ * the ORTs needs associative lookups.
+ */
+
+#ifndef TSS_CORE_PROTOCOL_HH
+#define TSS_CORE_PROTOCOL_HH
+
+#include <vector>
+
+#include "noc/message.hh"
+#include "sim/types.hh"
+#include "trace/task_trace.hh"
+
+namespace tss
+{
+
+/** Reference to a version slot inside a specific OVT. */
+struct VersionRef
+{
+    std::uint16_t ovt = 0xffff;
+    std::uint32_t slot = 0;
+
+    bool valid() const { return ovt != 0xffff; }
+
+    friend bool
+    operator==(const VersionRef &a, const VersionRef &b)
+    {
+        return a.ovt == b.ovt && a.slot == b.slot;
+    }
+};
+
+/** Message discriminator. */
+enum class MsgType : std::uint8_t
+{
+    // Task-generating thread <-> gateway.
+    TaskSubmit,
+    GatewayCredit,
+
+    // Gateway <-> TRS.
+    AllocRequest,
+    AllocReply,
+    ScalarOperand,
+    TrsSpace,
+
+    // Gateway -> ORT.
+    DecodeOperand,
+
+    // ORT -> gateway (flow control).
+    GatewayStall,
+    GatewayResume,
+
+    // ORT -> TRS.
+    OperandInfo,
+
+    // ORT -> OVT.
+    CreateVersion,
+    AddReader,
+
+    // OVT/TRS -> TRS.
+    DataReady,
+
+    // TRS -> TRS (or TRS -> OVT without chaining).
+    RegisterConsumer,
+
+    // TRS -> OVT (task retirement).
+    ReleaseUse,
+    ProducerDone,
+
+    // OVT <-> ORT (final-version retirement handshake).
+    VersionQuiescent,
+    RetireVersion,
+
+    // OVT -> ORT.
+    VersionDead,
+
+    // TRS -> scheduler, scheduler <-> cores, core -> TRS.
+    TaskReady,
+    DispatchTask,
+    TaskFinished,
+    CoreIdle,
+};
+
+/** Typed base for all protocol messages. */
+struct ProtoMsg : Message
+{
+    ProtoMsg(MsgType msg_type, Bytes size_bytes)
+        : Message(invalidNode, invalidNode, size_bytes), type(msg_type)
+    {}
+
+    MsgType type;
+};
+
+/** Which readiness a DataReady message reports (paper Figure 9). */
+enum class ReadySide : std::uint8_t
+{
+    Input,  ///< the consumed data has been produced
+    Output, ///< the output buffer is exclusively available
+};
+
+/// @name Concrete messages.
+/// @{
+
+/** Task-generating thread pushes a task into the gateway buffer. */
+struct TaskSubmitMsg : ProtoMsg
+{
+    explicit TaskSubmitMsg(std::uint32_t trace_index, Bytes size_bytes)
+        : ProtoMsg(MsgType::TaskSubmit, size_bytes),
+          traceIndex(trace_index)
+    {}
+
+    std::uint32_t traceIndex;
+    unsigned thread = 0; ///< generating thread (section III-B)
+};
+
+/** Gateway frees a task buffer entry back to the thread. */
+struct GatewayCreditMsg : ProtoMsg
+{
+    GatewayCreditMsg() : ProtoMsg(MsgType::GatewayCredit, 8) {}
+};
+
+/** Gateway asks a TRS to allocate storage (paper Figure 6). */
+struct AllocRequestMsg : ProtoMsg
+{
+    AllocRequestMsg(std::uint32_t trace_index, unsigned operands)
+        : ProtoMsg(MsgType::AllocRequest, 16), traceIndex(trace_index),
+          numOperands(operands)
+    {}
+
+    std::uint32_t traceIndex;
+    unsigned numOperands;
+};
+
+/** TRS returns the allocated slot ("use slot 17"). */
+struct AllocReplyMsg : ProtoMsg
+{
+    AllocReplyMsg(std::uint32_t trace_index, TaskId task_id)
+        : ProtoMsg(MsgType::AllocReply, 16), traceIndex(trace_index),
+          id(task_id)
+    {}
+
+    std::uint32_t traceIndex;
+    TaskId id;
+};
+
+/** Scalar operands skip the ORTs (paper section IV-A). */
+struct ScalarOperandMsg : ProtoMsg
+{
+    explicit ScalarOperandMsg(OperandId operand)
+        : ProtoMsg(MsgType::ScalarOperand, 16), op(operand)
+    {}
+
+    OperandId op;
+};
+
+/** TRS tells the gateway blocks were freed (credit resync). */
+struct TrsSpaceMsg : ProtoMsg
+{
+    TrsSpaceMsg(unsigned trs_index, std::uint32_t blocks)
+        : ProtoMsg(MsgType::TrsSpace, 12), trs(trs_index),
+          freedBlocks(blocks)
+    {}
+
+    unsigned trs;
+    std::uint32_t freedBlocks;
+};
+
+/** Gateway sends one memory operand to its hashed ORT. */
+struct DecodeOperandMsg : ProtoMsg
+{
+    DecodeOperandMsg(OperandId operand, Dir direction,
+                     std::uint64_t address, Bytes object_bytes)
+        : ProtoMsg(MsgType::DecodeOperand, 24), op(operand),
+          dir(direction), addr(address), objectBytes(object_bytes)
+    {}
+
+    OperandId op;
+    Dir dir;
+    std::uint64_t addr;
+    Bytes objectBytes;
+};
+
+/** ORT requests the gateway to pause while its set is full. */
+struct GatewayStallMsg : ProtoMsg
+{
+    GatewayStallMsg() : ProtoMsg(MsgType::GatewayStall, 8) {}
+};
+
+/** ORT releases a previously requested stall. */
+struct GatewayResumeMsg : ProtoMsg
+{
+    GatewayResumeMsg() : ProtoMsg(MsgType::GatewayResume, 8) {}
+};
+
+/**
+ * ORT -> TRS: basic operand information ("operand <1,17,0> is 512B").
+ * For readers, @p chainTo names the previous user to register with;
+ * @p readyNow short-circuits the chain when the data already rests in
+ * memory (version 0) or the operand needs no input data.
+ */
+struct OperandInfoMsg : ProtoMsg
+{
+    OperandInfoMsg(OperandId operand, Dir direction, Bytes object_bytes,
+                   VersionRef ver, OperandId chain_to, bool ready_now,
+                   std::uint64_t buffer_addr)
+        : ProtoMsg(MsgType::OperandInfo, 24), op(operand),
+          dir(direction), objectBytes(object_bytes), version(ver),
+          waitVersion(ver), chainTo(chain_to), readyNow(ready_now),
+          buffer(buffer_addr)
+    {}
+
+    OperandId op;
+    Dir dir;
+    Bytes objectBytes;
+    VersionRef version;     ///< version this operand reads/produces
+    VersionRef waitVersion; ///< version whose data the operand consumes
+                            ///< (differs from version for inout; used
+                            ///< by the no-chaining ablation)
+    OperandId chainTo;      ///< previous user (invalid: no chain)
+    bool readyNow;          ///< input data already available
+    std::uint64_t buffer;
+};
+
+/**
+ * ORT -> OVT: create a version for a writer operand
+ * ("version+rename for <1,17,0>"). The ORT allocates the slot from
+ * its credit pool, so the message is fire-and-forget.
+ */
+struct CreateVersionMsg : ProtoMsg
+{
+    CreateVersionMsg(std::uint32_t slot_index, std::uint32_t slot_epoch,
+                     OperandId producer_op, std::uint64_t address,
+                     Bytes object_bytes, bool rename, bool has_prev,
+                     std::uint32_t prev_slot, std::uint32_t ort_entry)
+        : ProtoMsg(MsgType::CreateVersion, 24), slot(slot_index),
+          epoch(slot_epoch), producer(producer_op), addr(address),
+          objectBytes(object_bytes), renamed(rename), hasPrev(has_prev),
+          prevSlot(prev_slot), ortEntry(ort_entry)
+    {}
+
+    std::uint32_t slot;
+    std::uint32_t epoch;    ///< slot incarnation (retire handshake)
+    OperandId producer;
+    std::uint64_t addr;
+    Bytes objectBytes;
+    bool renamed;           ///< allocate a fresh rename buffer
+    bool hasPrev;           ///< chained after an existing version
+    std::uint32_t prevSlot;
+    std::uint32_t ortEntry; ///< for VersionDead notifications
+};
+
+/** ORT -> OVT: a reader joined a version (usage count +1). */
+struct AddReaderMsg : ProtoMsg
+{
+    AddReaderMsg(std::uint32_t slot_index, OperandId reader_op)
+        : ProtoMsg(MsgType::AddReader, 12), slot(slot_index),
+          reader(reader_op)
+    {}
+
+    std::uint32_t slot;
+    OperandId reader;
+};
+
+/** Data-ready notification (input side travels down the chain). */
+struct DataReadyMsg : ProtoMsg
+{
+    DataReadyMsg(OperandId operand, ReadySide ready_side,
+                 std::uint64_t buffer_addr)
+        : ProtoMsg(MsgType::DataReady, 16), op(operand),
+          side(ready_side), buffer(buffer_addr)
+    {}
+
+    OperandId op;
+    ReadySide side;
+    std::uint64_t buffer;
+};
+
+/**
+ * Consumer registration: @p consumer asks to be notified when the
+ * data of @p producer's version becomes available (paper Figure 8).
+ * With chaining disabled (ablation) this is sent to the OVT instead.
+ */
+struct RegisterConsumerMsg : ProtoMsg
+{
+    RegisterConsumerMsg(OperandId producer_op, OperandId consumer_op,
+                        std::uint32_t version_slot = 0)
+        : ProtoMsg(MsgType::RegisterConsumer, 16), producer(producer_op),
+          consumer(consumer_op), slot(version_slot)
+    {}
+
+    OperandId producer;
+    OperandId consumer;
+    std::uint32_t slot; ///< only used by the no-chaining ablation
+};
+
+/** TRS -> OVT: a finished task released a read use of a version. */
+struct ReleaseUseMsg : ProtoMsg
+{
+    explicit ReleaseUseMsg(std::uint32_t slot_index)
+        : ProtoMsg(MsgType::ReleaseUse, 12), slot(slot_index)
+    {}
+
+    std::uint32_t slot;
+};
+
+/** TRS -> OVT: a version's producer task finished. */
+struct ProducerDoneMsg : ProtoMsg
+{
+    explicit ProducerDoneMsg(std::uint32_t slot_index)
+        : ProtoMsg(MsgType::ProducerDone, 12), slot(slot_index)
+    {}
+
+    std::uint32_t slot;
+};
+
+/**
+ * OVT -> ORT: the final version of an object has quiesced (producer
+ * done, no registered readers). The ORT authorizes retirement only if
+ * no reader registrations are still in flight (its issued-reader count
+ * matches) and no newer writer claimed the object; this closes the
+ * race between version death and in-flight AddReader messages.
+ */
+struct VersionQuiescentMsg : ProtoMsg
+{
+    VersionQuiescentMsg(std::uint32_t slot_index,
+                        std::uint32_t slot_epoch,
+                        std::uint32_t readers_seen,
+                        std::uint32_t ort_entry)
+        : ProtoMsg(MsgType::VersionQuiescent, 12), slot(slot_index),
+          epoch(slot_epoch), readersSeen(readers_seen),
+          ortEntry(ort_entry)
+    {}
+
+    std::uint32_t slot;
+    std::uint32_t epoch;
+    std::uint32_t readersSeen;
+    std::uint32_t ortEntry;
+};
+
+/** ORT -> OVT: retirement of a quiescent final version is granted. */
+struct RetireVersionMsg : ProtoMsg
+{
+    RetireVersionMsg(std::uint32_t slot_index, std::uint32_t slot_epoch)
+        : ProtoMsg(MsgType::RetireVersion, 12), slot(slot_index),
+          epoch(slot_epoch)
+    {}
+
+    std::uint32_t slot;
+    std::uint32_t epoch;
+};
+
+/** OVT -> ORT: a version died; return the slot credit. */
+struct VersionDeadMsg : ProtoMsg
+{
+    VersionDeadMsg(std::uint32_t slot_index, std::uint32_t ort_entry)
+        : ProtoMsg(MsgType::VersionDead, 12), slot(slot_index),
+          ortEntry(ort_entry)
+    {}
+
+    std::uint32_t slot;
+    std::uint32_t ortEntry;
+};
+
+/** TRS -> scheduler: task has all operands ready. */
+struct TaskReadyMsg : ProtoMsg
+{
+    explicit TaskReadyMsg(TaskId task_id)
+        : ProtoMsg(MsgType::TaskReady, 12), id(task_id)
+    {}
+
+    TaskId id;
+};
+
+/** Scheduler -> core: execute this task. */
+struct DispatchTaskMsg : ProtoMsg
+{
+    explicit DispatchTaskMsg(TaskId task_id)
+        : ProtoMsg(MsgType::DispatchTask, 32), id(task_id)
+    {}
+
+    TaskId id;
+};
+
+/** Core -> TRS: the task's kernel finished executing. */
+struct TaskFinishedMsg : ProtoMsg
+{
+    explicit TaskFinishedMsg(TaskId task_id)
+        : ProtoMsg(MsgType::TaskFinished, 12), id(task_id)
+    {}
+
+    TaskId id;
+};
+
+/** Core -> scheduler: ready for more work. */
+struct CoreIdleMsg : ProtoMsg
+{
+    explicit CoreIdleMsg(unsigned core_index)
+        : ProtoMsg(MsgType::CoreIdle, 8), core(core_index)
+    {}
+
+    unsigned core;
+};
+
+/// @}
+
+} // namespace tss
+
+#endif // TSS_CORE_PROTOCOL_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Simulator-side task bookkeeping. Hardware messages carry only the
+ * <TRS, SLOT> identifiers of the paper; the registry is the
+ * simulator's side-band that maps those ids back to trace records
+ * (for worker runtimes) and collects per-task timestamps for the
+ * evaluation statistics. It models no hardware storage.
+ */
+
+#ifndef TSS_CORE_TASK_REGISTRY_HH
+#define TSS_CORE_TASK_REGISTRY_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+#include "trace/task_trace.hh"
+
+namespace tss
+{
+
+/** Per-task lifecycle timestamps (simulation instrumentation). */
+struct TaskRecord
+{
+    Cycle submitted = invalidCycle;  ///< pushed by the thread
+    Cycle allocated = invalidCycle;  ///< TRS slot granted
+    Cycle decodeDone = invalidCycle; ///< all operands in the graph
+    Cycle ready = invalidCycle;      ///< all operands data-ready
+    Cycle started = invalidCycle;    ///< began executing on a core
+    Cycle finished = invalidCycle;   ///< kernel completed
+};
+
+/** Maps in-flight hardware task ids to trace indices and records. */
+class TaskRegistry
+{
+  public:
+    explicit TaskRegistry(const TaskTrace &task_trace)
+        : trace(task_trace), records(task_trace.size())
+    {
+        byId.reserve(task_trace.size());
+    }
+
+    /** Bind a hardware id to a trace task at allocation time. */
+    void
+    bind(TaskId id, std::uint32_t trace_index)
+    {
+        auto [it, inserted] = byId.emplace(id, trace_index);
+        TSS_ASSERT(inserted, "task id rebound");
+        (void)it;
+    }
+
+    /** Trace index of an in-flight task. */
+    std::uint32_t
+    traceIndex(TaskId id) const
+    {
+        auto it = byId.find(id);
+        TSS_ASSERT(it != byId.end(), "unknown task id %s",
+                   toString(id).c_str());
+        return it->second;
+    }
+
+    const TraceTask &
+    traceTask(TaskId id) const
+    {
+        return trace.tasks[traceIndex(id)];
+    }
+
+    TaskRecord &record(std::uint32_t trace_index)
+    {
+        return records[trace_index];
+    }
+
+    TaskRecord &record(TaskId id) { return records[traceIndex(id)]; }
+
+    const std::vector<TaskRecord> &allRecords() const { return records; }
+
+    /** Drop the id binding once a task fully retired. */
+    void
+    unbind(TaskId id)
+    {
+        byId.erase(id);
+    }
+
+    const TaskTrace &taskTrace() const { return trace; }
+
+  private:
+    const TaskTrace &trace;
+    std::vector<TaskRecord> records;
+    std::unordered_map<TaskId, std::uint32_t> byId;
+};
+
+} // namespace tss
+
+#endif // TSS_CORE_TASK_REGISTRY_HH

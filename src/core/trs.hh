@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Task Reservation Station. TRSs store the meta-data of all in-flight
+ * tasks in private eDRAM (128 B blocks, inode-style layout) and track
+ * operand readiness; collectively they embed the task dependency
+ * graph via consumer chaining (paper section IV-B.2).
+ */
+
+#ifndef TSS_CORE_TRS_HH
+#define TSS_CORE_TRS_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/module.hh"
+#include "core/task_registry.hh"
+#include "mem/edram.hh"
+#include "mem/free_list.hh"
+#include "sim/stats.hh"
+
+namespace tss
+{
+
+/** Shared run-wide statistics sink filled in by the modules. */
+struct FrontendStats
+{
+    Counter tasksAllocated;
+    Counter tasksFinished;
+    Counter dataReadyForwards;  ///< chain hops traversed
+    Counter tombstoneReplies;   ///< registrations to finished tasks
+    Counter gatewayStallEvents;
+    Cycle gatewayStallCycles = 0;
+    Cycle sourceStallCycles = 0;
+    Distribution chainConsumers; ///< consumers chained per version
+    Distribution fragmentation;  ///< TRS allocation waste fraction
+    Distribution decodeLatency;  ///< submit -> decodeDone per task
+    TimeWeighted tasksInFlight;  ///< window occupancy
+    Counter versionsCreated;
+    Counter versionsRenamed;
+    Counter dmaWritebacks;
+};
+
+/**
+ * One TRS tile: slot allocation, operand state, readiness tracking,
+ * chain forwarding, and task retirement.
+ */
+class Trs : public FrontendModule
+{
+  public:
+    Trs(std::string name, EventQueue &eq, Network &network, NodeId node,
+        unsigned trs_index, const PipelineConfig &config,
+        TaskRegistry &task_registry, FrontendStats &frontend_stats);
+
+    /** Resolve frontend tile indices to NoC node ids (set by wiring). */
+    void
+    setPeers(NodeId gateway, NodeId scheduler,
+             std::vector<NodeId> trs_nodes, std::vector<NodeId> ovt_nodes)
+    {
+        gatewayNode = gateway;
+        schedulerNode = scheduler;
+        trsNodes = std::move(trs_nodes);
+        ovtNodes = std::move(ovt_nodes);
+    }
+
+    std::uint32_t freeBlocks() const { return freeList.numFree(); }
+    const BlockFreeList &blockList() const { return freeList; }
+
+    /** Number of live (allocated, unfinished) task slots. */
+    std::size_t liveSlots() const { return slots.size(); }
+
+  protected:
+    Service process(ProtoMsg &msg) override;
+
+  private:
+    /** Per-operand dependency-tracking state. */
+    struct OperandState
+    {
+        Dir dir = Dir::In;
+        bool infoSeen = false;
+        bool inputReady = false;
+        bool outputReady = false;
+        bool hasChainNext = false;
+        OperandId chainNext;
+        VersionRef version;
+        std::uint64_t buffer = 0;
+        Bytes bytes = 0;
+    };
+
+    /** One in-flight task's meta-data. */
+    struct TaskSlot
+    {
+        std::uint32_t generation = 0;
+        std::uint32_t traceIndex = 0;
+        unsigned numOperands = 0;
+        unsigned infoCount = 0;
+        unsigned readyCount = 0;
+        bool readySent = false;
+        std::vector<std::uint32_t> blocks;
+        std::vector<OperandState> ops;
+    };
+
+    Service handleAlloc(AllocRequestMsg &msg);
+    Service handleScalar(ScalarOperandMsg &msg);
+    Service handleOperandInfo(OperandInfoMsg &msg);
+    Service handleRegisterConsumer(RegisterConsumerMsg &msg);
+    Service handleDataReady(DataReadyMsg &msg);
+    Service handleTaskFinished(TaskFinishedMsg &msg);
+
+    /** Find a live slot matching @p id; null on generation mismatch. */
+    TaskSlot *findSlot(const TaskId &id);
+
+    static bool operandReady(const OperandState &op);
+
+    /** Re-evaluate an operand; update counters and maybe fire ready. */
+    void reevaluate(TaskSlot &slot, const TaskId &id, unsigned index,
+                    bool was_ready);
+
+    void noteDecodeProgress(TaskSlot &slot);
+    void maybeTaskReady(TaskSlot &slot, const TaskId &id);
+    void forwardReady(const OperandState &op);
+
+    unsigned trsIndex;
+    const PipelineConfig &cfg;
+    TaskRegistry &registry;
+    FrontendStats &stats;
+
+    Edram edram;
+    BlockFreeList freeList;
+
+    NodeId gatewayNode = invalidNode;
+    NodeId schedulerNode = invalidNode;
+    std::vector<NodeId> trsNodes;
+    std::vector<NodeId> ovtNodes;
+
+    /// Live slots keyed by main-block index.
+    std::unordered_map<std::uint32_t, TaskSlot> slots;
+
+    /// Generation counter per block index (tombstone detection).
+    std::unordered_map<std::uint32_t, std::uint32_t> generations;
+};
+
+} // namespace tss
+
+#endif // TSS_CORE_TRS_HH

@@ -1,0 +1,65 @@
+#include "cli.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace tss
+{
+
+CliArgs::CliArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            fatal("unexpected positional argument '%s'", arg.c_str());
+        }
+        arg = arg.substr(2);
+        auto eq_pos = arg.find('=');
+        if (eq_pos == std::string::npos)
+            values[arg] = "1";
+        else
+            values[arg.substr(0, eq_pos)] = arg.substr(eq_pos + 1);
+    }
+}
+
+bool
+CliArgs::has(const std::string &flag) const
+{
+    return values.count(flag) > 0;
+}
+
+std::string
+CliArgs::get(const std::string &key, const std::string &fallback) const
+{
+    auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+}
+
+double
+CliArgs::getDouble(const std::string &key, double fallback) const
+{
+    auto it = values.find(key);
+    return it == values.end() ? fallback : std::atof(it->second.c_str());
+}
+
+long
+CliArgs::getLong(const std::string &key, long fallback) const
+{
+    auto it = values.find(key);
+    return it == values.end() ? fallback : std::atol(it->second.c_str());
+}
+
+double
+CliArgs::scale(double quick, double full, double fallback) const
+{
+    if (has("scale"))
+        return getDouble("scale", fallback);
+    if (has("quick"))
+        return quick;
+    if (has("full"))
+        return full;
+    return fallback;
+}
+
+} // namespace tss

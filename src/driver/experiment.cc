@@ -1,0 +1,47 @@
+#include "experiment.hh"
+
+#include "sim/logging.hh"
+
+namespace tss
+{
+
+RunResult
+runHardware(const PipelineConfig &config, const TaskTrace &trace)
+{
+    Pipeline pipeline(config, trace);
+    return pipeline.run();
+}
+
+SwRunResult
+runSoftware(const SwRuntimeConfig &config, const TaskTrace &trace)
+{
+    SoftwareRuntime runtime(config, trace);
+    return runtime.run();
+}
+
+PipelineConfig
+paperConfig(unsigned cores)
+{
+    PipelineConfig cfg;
+    cfg.numTrs = 8;
+    cfg.numOrt = 2;
+    cfg.trsTotalBytes = 6 * 1024 * 1024;
+    cfg.ortTotalBytes = 512 * 1024;
+    cfg.ovtTotalBytes = 512 * 1024;
+    cfg.numCores = cores;
+    return cfg;
+}
+
+TaskTrace
+makeWorkload(const std::string &name, double scale, std::uint64_t seed)
+{
+    const WorkloadInfo *info = findWorkload(name);
+    if (!info)
+        fatal("unknown workload '%s'", name.c_str());
+    WorkloadParams params;
+    params.scale = scale;
+    params.seed = seed;
+    return info->generate(params);
+}
+
+} // namespace tss

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared experiment entry points used by the bench harness, examples
+ * and tests: run a trace through the hardware pipeline or the
+ * software runtime and collect uniform results.
+ */
+
+#ifndef TSS_DRIVER_EXPERIMENT_HH
+#define TSS_DRIVER_EXPERIMENT_HH
+
+#include <string>
+
+#include "core/config.hh"
+#include "core/pipeline.hh"
+#include "swruntime/sw_runtime.hh"
+#include "trace/task_trace.hh"
+#include "workload/workload.hh"
+
+namespace tss
+{
+
+/** Run @p trace through a freshly built task superscalar system. */
+RunResult runHardware(const PipelineConfig &config,
+                      const TaskTrace &trace);
+
+/** Run @p trace through the software-runtime baseline. */
+SwRunResult runSoftware(const SwRuntimeConfig &config,
+                        const TaskTrace &trace);
+
+/**
+ * The paper's evaluation configuration (section VI-A conclusion):
+ * 8 TRSs, 2 ORT/OVT pairs, 512 KB of ORT storage, 6 MB of TRS
+ * storage, driving @p cores worker cores.
+ */
+PipelineConfig paperConfig(unsigned cores = 256);
+
+/**
+ * Generate the named benchmark at @p scale (1.0 = paper-sized window
+ * pressure, tens of thousands of tasks). Calls fatal() for unknown
+ * names.
+ */
+TaskTrace makeWorkload(const std::string &name, double scale,
+                       std::uint64_t seed = 1);
+
+} // namespace tss
+
+#endif // TSS_DRIVER_EXPERIMENT_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Aligned text-table and CSV output for the bench harness; every
+ * figure/table binary prints through this so outputs are uniform.
+ */
+
+#ifndef TSS_DRIVER_TABLE_HH
+#define TSS_DRIVER_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tss
+{
+
+/** A simple column-aligned table with optional CSV emission. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append one row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format doubles with @p precision digits. */
+    static std::string num(double v, int precision = 1);
+    static std::string num(std::uint64_t v);
+
+    /** Render with padded columns to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV to @p os. */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace tss
+
+#endif // TSS_DRIVER_TABLE_HH

@@ -1,0 +1,47 @@
+#include "dataflow_limit.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace tss
+{
+
+double
+DataflowSchedule::speedupBound(unsigned processors) const
+{
+    if (sequential == 0)
+        return 0;
+    double cp = static_cast<double>(criticalPath);
+    double seq = static_cast<double>(sequential);
+    double makespan = std::max(cp, seq / processors);
+    return seq / makespan;
+}
+
+DataflowSchedule
+computeDataflowLimit(const TaskTrace &trace, const DepGraph &graph)
+{
+    TSS_ASSERT(graph.numTasks() == trace.size(),
+               "graph/trace size mismatch");
+
+    DataflowSchedule sched;
+    auto n = static_cast<std::uint32_t>(trace.size());
+    sched.start.assign(n, 0);
+    sched.finish.assign(n, 0);
+
+    // Tasks are indexed in creation order and edges always point
+    // forward, so a single in-order pass is a topological traversal.
+    for (std::uint32_t t = 0; t < n; ++t) {
+        Cycle start = 0;
+        for (std::uint32_t p : graph.pred(t))
+            start = std::max(start, sched.finish[p]);
+        sched.start[t] = start;
+        sched.finish[t] = start + trace.tasks[t].runtime;
+        sched.criticalPath = std::max(sched.criticalPath,
+                                      sched.finish[t]);
+        sched.sequential += trace.tasks[t].runtime;
+    }
+    return sched;
+}
+
+} // namespace tss

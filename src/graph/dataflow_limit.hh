@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Infinite-resource dataflow schedule of a dependency graph: earliest
+ * start/finish times, critical-path length, and the resulting
+ * available task parallelism. This is the upper bound any pipeline or
+ * runtime can reach (paper section VI discusses how window size
+ * limits how much of it is uncovered).
+ */
+
+#ifndef TSS_GRAPH_DATAFLOW_LIMIT_HH
+#define TSS_GRAPH_DATAFLOW_LIMIT_HH
+
+#include <vector>
+
+#include "graph/dep_graph.hh"
+#include "trace/task_trace.hh"
+
+namespace tss
+{
+
+/** Result of an infinite-resource (PRAM-style) schedule. */
+struct DataflowSchedule
+{
+    std::vector<Cycle> start;  ///< earliest start per task
+    std::vector<Cycle> finish; ///< earliest finish per task
+
+    Cycle criticalPath = 0;    ///< makespan with infinite processors
+    Cycle sequential = 0;      ///< sum of runtimes
+
+    /** Average parallelism = sequential / criticalPath. */
+    double
+    parallelism() const
+    {
+        return criticalPath == 0
+            ? 0 : static_cast<double>(sequential) /
+                  static_cast<double>(criticalPath);
+    }
+
+    /** Ideal speedup on @p processors = seq / max(cp, seq/P). */
+    double speedupBound(unsigned processors) const;
+};
+
+/**
+ * Compute the dataflow limit of @p trace under @p graph (which must
+ * have been built from the same trace).
+ */
+DataflowSchedule computeDataflowLimit(const TaskTrace &trace,
+                                      const DepGraph &graph);
+
+} // namespace tss
+
+#endif // TSS_GRAPH_DATAFLOW_LIMIT_HH

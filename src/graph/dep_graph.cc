@@ -1,0 +1,129 @@
+#include "dep_graph.hh"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sim/logging.hh"
+
+namespace tss
+{
+
+namespace
+{
+
+/** Per-object tracking state while scanning the trace in order. */
+struct ObjectState
+{
+    std::int64_t lastWriter = -1;
+    std::vector<std::uint32_t> readersSinceWrite;
+};
+
+} // namespace
+
+void
+DepGraph::addEdge(std::uint32_t from, std::uint32_t to, DepKind kind)
+{
+    if (from == to)
+        return;
+    // Deduplicate: a pair of tasks often shares several objects. Only
+    // the first edge between a pair is recorded.
+    auto &preds = predecessors[to];
+    if (std::find(preds.begin(), preds.end(), from) != preds.end())
+        return;
+    preds.push_back(from);
+    successors[from].push_back(to);
+    edges.push_back(DepEdge{from, to, kind});
+}
+
+DepGraph
+DepGraph::build(const TaskTrace &trace, Semantics semantics)
+{
+    DepGraph graph;
+    auto n = static_cast<std::uint32_t>(trace.size());
+    graph.successors.resize(n);
+    graph.predecessors.resize(n);
+
+    std::unordered_map<std::uint64_t, ObjectState> objects;
+    objects.reserve(trace.size());
+
+    for (std::uint32_t t = 0; t < n; ++t) {
+        const TraceTask &task = trace.tasks[t];
+        for (const auto &op : task.operands) {
+            if (!isMemoryOperand(op.dir))
+                continue;
+            ObjectState &obj = objects[op.addr];
+
+            if (readsObject(op.dir) && obj.lastWriter >= 0) {
+                graph.addEdge(static_cast<std::uint32_t>(obj.lastWriter),
+                              t, DepKind::RaW);
+            }
+
+            if (writesObject(op.dir)) {
+                bool in_place = op.dir == Dir::InOut ||
+                    semantics == Semantics::Sequential;
+                if (in_place) {
+                    // In-place writers wait for the previous
+                    // version's readers (WaR) ...
+                    for (std::uint32_t r : obj.readersSinceWrite)
+                        graph.addEdge(r, t, DepKind::WaR);
+                    // ... and, without renaming, for the previous
+                    // writer too (WaW). For inout that edge already
+                    // exists as RaW.
+                    if (semantics == Semantics::Sequential &&
+                        op.dir == Dir::Out && obj.lastWriter >= 0) {
+                        graph.addEdge(
+                            static_cast<std::uint32_t>(obj.lastWriter),
+                            t, DepKind::WaW);
+                    }
+                }
+                obj.lastWriter = t;
+                obj.readersSinceWrite.clear();
+            }
+
+            if (readsObject(op.dir) &&
+                obj.lastWriter != static_cast<std::int64_t>(t)) {
+                obj.readersSinceWrite.push_back(t);
+            }
+        }
+    }
+    return graph;
+}
+
+bool
+DepGraph::hasEdge(std::uint32_t from, std::uint32_t to) const
+{
+    const auto &succs = successors[from];
+    return std::find(succs.begin(), succs.end(), to) != succs.end();
+}
+
+std::vector<std::uint32_t>
+DepGraph::roots() const
+{
+    std::vector<std::uint32_t> result;
+    for (std::uint32_t t = 0; t < numTasks(); ++t)
+        if (predecessors[t].empty())
+            result.push_back(t);
+    return result;
+}
+
+bool
+DepGraph::isTopologicalOrder(const std::vector<std::uint32_t> &order) const
+{
+    if (order.size() != numTasks())
+        return false;
+    std::vector<std::uint32_t> position(numTasks(), 0);
+    std::vector<bool> seen(numTasks(), false);
+    for (std::uint32_t i = 0; i < order.size(); ++i) {
+        if (order[i] >= numTasks() || seen[order[i]])
+            return false;
+        seen[order[i]] = true;
+        position[order[i]] = i;
+    }
+    for (const auto &edge : edges)
+        if (position[edge.from] >= position[edge.to])
+            return false;
+    return true;
+}
+
+} // namespace tss

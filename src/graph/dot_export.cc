@@ -1,0 +1,53 @@
+#include "dot_export.hh"
+
+#include <array>
+#include <ostream>
+
+namespace tss
+{
+
+namespace
+{
+
+const char *
+kindName(DepKind kind)
+{
+    switch (kind) {
+      case DepKind::RaW: return "RaW";
+      case DepKind::WaR: return "WaR";
+      case DepKind::WaW: return "WaW";
+    }
+    return "?";
+}
+
+/** Grey shades per kernel, echoing Figure 1's kernel shading. */
+constexpr std::array<const char *, 6> shades = {
+    "white", "gray90", "gray75", "gray60", "gray45", "gray30",
+};
+
+} // namespace
+
+void
+writeDot(std::ostream &os, const TaskTrace &trace, const DepGraph &graph,
+         const DotOptions &options)
+{
+    os << "digraph \"" << trace.name << "\" {\n";
+    os << "  node [style=filled, shape=circle];\n";
+    for (std::size_t t = 0; t < trace.size(); ++t) {
+        const auto &task = trace.tasks[t];
+        const char *fill = shades[task.kernel % shades.size()];
+        os << "  t" << t << " [label=\""
+           << (options.numberByCreationOrder ? t + 1 : t)
+           << "\", fillcolor=" << fill << ", tooltip=\""
+           << trace.kernelNames[task.kernel] << "\"];\n";
+    }
+    for (const auto &edge : graph.allEdges()) {
+        os << "  t" << edge.from << " -> t" << edge.to;
+        if (options.showKinds)
+            os << " [label=\"" << kindName(edge.kind) << "\"]";
+        os << ";\n";
+    }
+    os << "}\n";
+}
+
+} // namespace tss

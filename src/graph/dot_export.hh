@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Graphviz DOT export of task dependency graphs, shaded by kernel as
+ * in the paper's Figure 1 (Cholesky 5x5).
+ */
+
+#ifndef TSS_GRAPH_DOT_EXPORT_HH
+#define TSS_GRAPH_DOT_EXPORT_HH
+
+#include <iosfwd>
+
+#include "graph/dep_graph.hh"
+#include "trace/task_trace.hh"
+
+namespace tss
+{
+
+/** Options for the DOT writer. */
+struct DotOptions
+{
+    bool numberByCreationOrder = true; ///< 1-based ids as in Figure 1
+    bool showKinds = false;            ///< label edges RaW/WaR/WaW
+};
+
+/** Write @p graph (built from @p trace) to @p os as DOT. */
+void writeDot(std::ostream &os, const TaskTrace &trace,
+              const DepGraph &graph, const DotOptions &options = {});
+
+} // namespace tss
+
+#endif // TSS_GRAPH_DOT_EXPORT_HH

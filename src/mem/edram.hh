@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The on-chip eDRAM macro model. ORTs, OVTs and TRSs store their
+ * operand/task meta-data in private eDRAM blocks; the paper charges a
+ * flat 22-cycle access latency on top of module processing time.
+ */
+
+#ifndef TSS_MEM_EDRAM_HH
+#define TSS_MEM_EDRAM_HH
+
+#include <string>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace tss
+{
+
+/**
+ * A private eDRAM block: a capacity budget plus an access-latency
+ * charge. The actual contents live in the owning module's C++ state;
+ * the model accounts for time and space only (the paper's modules
+ * store meta-data, not data).
+ */
+class Edram
+{
+  public:
+    /** The paper's eDRAM access time for the task pipeline. */
+    static constexpr Cycle defaultLatency = 22;
+
+    Edram(Bytes capacity, Cycle latency = defaultLatency)
+        : _capacity(capacity), _latency(latency)
+    {}
+
+    Bytes capacity() const { return _capacity; }
+    Cycle latency() const { return _latency; }
+
+    /** Charge @p n read accesses; returns the added latency. */
+    Cycle
+    read(unsigned n = 1)
+    {
+        reads += n;
+        return _latency * n;
+    }
+
+    /** Charge @p n write accesses; returns the added latency. */
+    Cycle
+    write(unsigned n = 1)
+    {
+        writes += n;
+        return _latency * n;
+    }
+
+    std::uint64_t numReads() const { return reads.value(); }
+    std::uint64_t numWrites() const { return writes.value(); }
+
+  private:
+    Bytes _capacity;
+    Cycle _latency;
+    Counter reads;
+    Counter writes;
+};
+
+} // namespace tss
+
+#endif // TSS_MEM_EDRAM_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Base types for the asynchronous point-to-point protocol: network
+ * node ids, the message base class, and the endpoint interface.
+ */
+
+#ifndef TSS_NOC_MESSAGE_HH
+#define TSS_NOC_MESSAGE_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/types.hh"
+
+namespace tss
+{
+
+/** Index of a node (core, frontend tile, L2 bank, ...) on the NoC. */
+using NodeId = std::int32_t;
+
+/** Sentinel for "not attached". */
+constexpr NodeId invalidNode = -1;
+
+/**
+ * Base class for everything travelling on the NoC. Concrete protocol
+ * messages (see core/protocol.hh) derive from this; the network itself
+ * only looks at source, destination and size.
+ */
+struct Message
+{
+    Message(NodeId src_node, NodeId dst_node, Bytes size_bytes)
+        : src(src_node), dst(dst_node), bytes(size_bytes)
+    {}
+
+    virtual ~Message() = default;
+
+    NodeId src;
+    NodeId dst;
+    Bytes bytes;
+
+    /** Cycle the message was injected (set by the network). */
+    Cycle sentAt = 0;
+};
+
+using MessagePtr = std::unique_ptr<Message>;
+
+/** Receiver of delivered messages. */
+class Endpoint
+{
+  public:
+    virtual ~Endpoint() = default;
+
+    /** Called by the network when a message arrives at this node. */
+    virtual void receive(MessagePtr msg) = 0;
+};
+
+} // namespace tss
+
+#endif // TSS_NOC_MESSAGE_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Abstract network interface plus a simple fixed-latency
+ * implementation used by unit tests and fast functional runs.
+ */
+
+#ifndef TSS_NOC_NETWORK_HH
+#define TSS_NOC_NETWORK_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "noc/message.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+
+namespace tss
+{
+
+/**
+ * A network delivers messages between attached endpoints after some
+ * modeled delay, preserving per source->destination FIFO order.
+ */
+class Network : public SimObject
+{
+  public:
+    using SimObject::SimObject;
+
+    /** Attach @p ep as the receiver for node @p node. */
+    void
+    attach(NodeId node, Endpoint &ep)
+    {
+        endpoints[node] = &ep;
+    }
+
+    /** Inject @p msg; ownership passes to the network. */
+    virtual void send(MessagePtr msg) = 0;
+
+    std::uint64_t messagesSent() const { return numMessages.value(); }
+    const Distribution &latencyStat() const { return latencies; }
+
+  protected:
+    /**
+     * Deliver @p msg at absolute @p when, clamped so that messages
+     * between the same pair of nodes never reorder.
+     */
+    void
+    deliverAt(Cycle when, MessagePtr msg)
+    {
+        auto key = pairKey(msg->src, msg->dst);
+        auto &last = lastDelivery[key];
+        if (when < last)
+            when = last;
+        last = when;
+
+        ++numMessages;
+        latencies.sample(static_cast<double>(when - msg->sentAt));
+
+        auto it = endpoints.find(msg->dst);
+        TSS_ASSERT(it != endpoints.end(),
+                   "message to unattached node %d", msg->dst);
+        Endpoint *ep = it->second;
+        // Shared ownership shim: the event queue needs a copyable
+        // callable, so stash the message in a shared_ptr.
+        auto shared = std::make_shared<MessagePtr>(std::move(msg));
+        eventQueue().schedule(when, [ep, shared]() mutable {
+            ep->receive(std::move(*shared));
+        });
+    }
+
+  private:
+    static std::uint64_t
+    pairKey(NodeId src, NodeId dst)
+    {
+        return (std::uint64_t(std::uint32_t(src)) << 32) |
+            std::uint32_t(dst);
+    }
+
+    std::unordered_map<NodeId, Endpoint *> endpoints;
+    std::unordered_map<std::uint64_t, Cycle> lastDelivery;
+    Counter numMessages;
+    Distribution latencies;
+};
+
+/**
+ * Fixed per-hopless latency network: every message arrives
+ * `latency + ceil(bytes/bandwidth)` cycles after injection. Useful
+ * for unit tests and as an idealized-interconnect ablation.
+ */
+class SimpleNetwork : public Network
+{
+  public:
+    SimpleNetwork(std::string name, EventQueue &eq, Cycle latency = 8,
+                  double bytes_per_cycle = 16.0)
+        : Network(std::move(name), eq), _latency(latency),
+          bandwidth(bytes_per_cycle)
+    {}
+
+    void
+    send(MessagePtr msg) override
+    {
+        msg->sentAt = curCycle();
+        Cycle ser = static_cast<Cycle>(
+            (static_cast<double>(msg->bytes) + bandwidth - 1) / bandwidth);
+        deliverAt(curCycle() + _latency + ser, std::move(msg));
+    }
+
+  private:
+    Cycle _latency;
+    double bandwidth;
+};
+
+} // namespace tss
+
+#endif // TSS_NOC_NETWORK_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The paper's interconnect: a segmented two-level ring. Each
+ * processor ring connects 8 cores to a hub; a global ring connects
+ * the hubs, the L2 banks, the memory controllers, and the task
+ * superscalar frontend tiles. Links move 16 bytes/cycle and every
+ * segment supports 4 concurrent connections (paper Table II).
+ */
+
+#ifndef TSS_NOC_RING_HH
+#define TSS_NOC_RING_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "noc/network.hh"
+
+namespace tss
+{
+
+/** Configuration of the two-level ring. */
+struct RingParams
+{
+    unsigned numCores = 256;
+    unsigned coresPerRing = 8;
+    unsigned numL2Banks = 32;
+    unsigned numMemCtrls = 4;
+    unsigned numFrontendTiles = 16;
+
+    /** Cycles to traverse one ring stop. */
+    Cycle hopLatency = 1;
+
+    /** Link bandwidth in bytes per cycle. */
+    double bytesPerCycle = 16.0;
+
+    /** Concurrent connections per ring segment. */
+    unsigned lanesPerSegment = 4;
+};
+
+/**
+ * Cycle-approximate two-level ring. Routing takes the shortest
+ * direction around each ring; contention is modeled by per-segment
+ * lane reservations (a message occupies one lane of each traversed
+ * segment for its serialization time).
+ */
+class RingNetwork : public Network
+{
+  public:
+    RingNetwork(std::string name, EventQueue &eq, RingParams params);
+
+    /// @name Node id lookup for the different station types.
+    /// @{
+    NodeId coreNode(unsigned core) const;
+    NodeId frontendNode(unsigned tile) const;
+    NodeId l2Node(unsigned bank) const;
+    NodeId memCtrlNode(unsigned mc) const;
+    /// @}
+
+    void send(MessagePtr msg) override;
+
+    /** Hop count between two nodes (for tests and stats). */
+    unsigned hopCount(NodeId src, NodeId dst) const;
+
+    const RingParams &params() const { return _params; }
+    const Distribution &hopStat() const { return hops; }
+
+  private:
+    /// Location of a node: which ring it is on and its stop index.
+    struct Location
+    {
+        int localRing;    ///< -1 when the node sits on the global ring
+        unsigned stop;    ///< stop index within its ring
+        unsigned hubStop; ///< this ring's hub position on global ring
+    };
+
+    /// One directed ring with lane reservations per segment.
+    struct Ring
+    {
+        unsigned stops = 0;
+        /// busyUntil[segment][lane], both directions share lanes.
+        std::vector<std::vector<Cycle>> lanes;
+    };
+
+    Location locate(NodeId node) const;
+
+    /**
+     * Reserve the path along @p ring from stop @p from to stop @p to
+     * starting at @p start; returns the arrival cycle.
+     */
+    Cycle traverse(Ring &ring, unsigned from, unsigned to, Cycle start,
+                   Cycle ser_cycles, unsigned &hops_out);
+
+    RingParams _params;
+    unsigned numRings;
+    unsigned globalStops;
+
+    std::vector<Ring> localRings;
+    Ring globalRing;
+
+    /// Global-ring stop index for each station.
+    std::vector<unsigned> hubStop;       // per local ring
+    std::vector<unsigned> frontendStop;  // per frontend tile
+    std::vector<unsigned> l2Stop;        // per bank
+    std::vector<unsigned> mcStop;        // per memory controller
+
+    Distribution hops;
+};
+
+} // namespace tss
+
+#endif // TSS_NOC_RING_HH

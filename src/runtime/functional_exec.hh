@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Out-of-order functional execution with true memory renaming. Given
+ * a TaskContext and an execution order (e.g. the start order observed
+ * in a simulated pipeline run), the executor runs the real kernels in
+ * that order while keeping one private buffer per operand *version* —
+ * exactly what the OVT's rename buffers do in hardware. The final
+ * buffer of every object is copied back to the program's memory (the
+ * DMA copy-back), so results are bit-identical to sequential
+ * execution for any order consistent with the renamed dependency
+ * graph.
+ */
+
+#ifndef TSS_RUNTIME_FUNCTIONAL_EXEC_HH
+#define TSS_RUNTIME_FUNCTIONAL_EXEC_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/dep_graph.hh"
+#include "runtime/starss.hh"
+
+namespace tss::starss
+{
+
+/** Executes a captured task program out-of-order, with renaming. */
+class FunctionalExecutor
+{
+  public:
+    explicit FunctionalExecutor(TaskContext &context);
+
+    /**
+     * Execute every task once, in @p order (a permutation of task
+     * indices). The order must be a topological order of the renamed
+     * dependency graph; this is verified and fatal() otherwise.
+     * On return all program memory holds the final results.
+     *
+     * @return Number of rename buffers allocated (version count).
+     */
+    std::size_t execute(const std::vector<std::uint32_t> &order);
+
+  private:
+    /** A materialized operand version. */
+    struct VersionBuffer
+    {
+        std::unique_ptr<std::uint8_t[]> data;
+        Bytes bytes = 0;
+    };
+
+    TaskContext &ctx;
+    DepGraph graph;
+};
+
+} // namespace tss::starss
+
+#endif // TSS_RUNTIME_FUNCTIONAL_EXEC_HH

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The discrete-event simulation kernel. A single global-ordered event
+ * queue drives every module in the simulated system; events scheduled
+ * for the same cycle execute in (priority, insertion) order so that
+ * simulations are fully deterministic.
+ */
+
+#ifndef TSS_SIM_EVENT_QUEUE_HH
+#define TSS_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "logging.hh"
+#include "types.hh"
+
+namespace tss
+{
+
+/** Callback type executed when an event fires. */
+using EventFn = std::function<void()>;
+
+/**
+ * A deterministic discrete-event queue.
+ *
+ * Ties at the same cycle break first on priority (lower first) and
+ * then on insertion order, which both keeps the simulation
+ * reproducible and provides per-link FIFO delivery for the NoC.
+ */
+class EventQueue
+{
+  public:
+    /** Default event priority. */
+    static constexpr int defaultPriority = 0;
+
+    /** Current simulated time. */
+    Cycle now() const { return _now; }
+
+    /** True when no events remain. */
+    bool empty() const { return events.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return events.size(); }
+
+    /** Total number of events executed so far. */
+    std::uint64_t executed() const { return numExecuted; }
+
+    /**
+     * Schedule an event at an absolute cycle.
+     * @param when Absolute firing time; must not be in the past.
+     * @param fn Callback to execute.
+     * @param priority Tie-break priority (lower fires first).
+     */
+    void
+    schedule(Cycle when, EventFn fn, int priority = defaultPriority)
+    {
+        TSS_ASSERT(when >= _now,
+                   "event scheduled in the past (%llu < %llu)",
+                   (unsigned long long)when, (unsigned long long)_now);
+        events.push(Event{when, priority, nextSeq++, std::move(fn)});
+    }
+
+    /** Schedule an event @p delay cycles from now. */
+    void
+    scheduleIn(Cycle delay, EventFn fn, int priority = defaultPriority)
+    {
+        schedule(_now + delay, std::move(fn), priority);
+    }
+
+    /**
+     * Execute the next pending event, advancing simulated time.
+     * @retval true if an event was executed.
+     */
+    bool
+    step()
+    {
+        if (events.empty())
+            return false;
+        // Moving out of a priority_queue requires a const_cast; the
+        // element is popped immediately afterwards so this is safe.
+        Event &top = const_cast<Event &>(events.top());
+        TSS_ASSERT(top.when >= _now, "event queue went backwards");
+        _now = top.when;
+        EventFn fn = std::move(top.fn);
+        events.pop();
+        ++numExecuted;
+        fn();
+        return true;
+    }
+
+    /**
+     * Run until the queue drains or @p max_events have executed.
+     * @return The number of events executed by this call.
+     */
+    std::uint64_t
+    run(std::uint64_t max_events = ~std::uint64_t(0))
+    {
+        std::uint64_t n = 0;
+        while (n < max_events && step())
+            ++n;
+        return n;
+    }
+
+    /**
+     * Run until simulated time would exceed @p limit (events at
+     * exactly @p limit still execute).
+     */
+    std::uint64_t
+    runUntil(Cycle limit)
+    {
+        std::uint64_t n = 0;
+        while (!events.empty() && events.top().when <= limit && step())
+            ++n;
+        return n;
+    }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        int priority;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events;
+    Cycle _now = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t numExecuted = 0;
+};
+
+} // namespace tss
+
+#endif // TSS_SIM_EVENT_QUEUE_HH

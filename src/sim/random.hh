@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Deterministic pseudo-random numbers for workload generation. A
+ * xoshiro256** generator seeded via splitmix64 gives identical streams
+ * on every platform, which keeps traces and experiments reproducible.
+ */
+
+#ifndef TSS_SIM_RANDOM_HH
+#define TSS_SIM_RANDOM_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace tss
+{
+
+/** xoshiro256** PRNG with splitmix64 seeding. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x7a5c5eed) { reseed(seed); }
+
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state)
+            word = splitmix64(x);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). @p n must be > 0. */
+    std::uint64_t
+    range(std::uint64_t n)
+    {
+        return next() % n;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    rangeInclusive(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+            range(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Standard normal via Box-Muller. */
+    double
+    normal()
+    {
+        if (haveSpare) {
+            haveSpare = false;
+            return spare;
+        }
+        double u1 = 0;
+        while (u1 == 0.0)
+            u1 = uniform();
+        double u2 = uniform();
+        double r = std::sqrt(-2.0 * std::log(u1));
+        double theta = 2.0 * M_PI * u2;
+        spare = r * std::sin(theta);
+        haveSpare = true;
+        return r * std::cos(theta);
+    }
+
+    /** Normal with the given mean and standard deviation. */
+    double
+    normal(double mean, double sigma)
+    {
+        return mean + sigma * normal();
+    }
+
+    /**
+     * Normal sample truncated below at @p lo (re-centered by
+     * clamping, not rejection, so it is cheap and deterministic).
+     */
+    double
+    truncNormal(double mean, double sigma, double lo)
+    {
+        double v = normal(mean, sigma);
+        return v < lo ? lo : v;
+    }
+
+    /** True with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static std::uint64_t
+    splitmix64(std::uint64_t &x)
+    {
+        x += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    static std::uint64_t
+    rotl(std::uint64_t v, int k)
+    {
+        return (v << k) | (v >> (64 - k));
+    }
+
+    std::uint64_t state[4] = {};
+    double spare = 0;
+    bool haveSpare = false;
+};
+
+} // namespace tss
+
+#endif // TSS_SIM_RANDOM_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Base class for simulated hardware objects: a name, access to the
+ * shared event queue, and scheduling convenience helpers.
+ */
+
+#ifndef TSS_SIM_SIM_OBJECT_HH
+#define TSS_SIM_SIM_OBJECT_HH
+
+#include <string>
+#include <utility>
+
+#include "event_queue.hh"
+#include "types.hh"
+
+namespace tss
+{
+
+/**
+ * A named participant in the simulation. Every hardware module
+ * (gateway, TRS, ORT, OVT, NoC, cores) derives from SimObject and
+ * shares one EventQueue.
+ */
+class SimObject
+{
+  public:
+    SimObject(std::string name, EventQueue &eq)
+        : _name(std::move(name)), _eventq(eq)
+    {}
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return _name; }
+    EventQueue &eventQueue() { return _eventq; }
+    Cycle curCycle() const { return _eventq.now(); }
+
+  protected:
+    /** Schedule a member callback @p delay cycles from now. */
+    void
+    scheduleIn(Cycle delay, EventFn fn,
+               int priority = EventQueue::defaultPriority)
+    {
+        _eventq.scheduleIn(delay, std::move(fn), priority);
+    }
+
+  private:
+    std::string _name;
+    EventQueue &_eventq;
+};
+
+} // namespace tss
+
+#endif // TSS_SIM_SIM_OBJECT_HH

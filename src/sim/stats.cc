@@ -1,0 +1,26 @@
+#include "stats.hh"
+
+#include <iomanip>
+
+namespace tss
+{
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    os << _name << "\n";
+    for (const auto &[n, c] : counters) {
+        os << "  " << std::left << std::setw(36) << n
+           << c->value() << "\n";
+    }
+    for (const auto &[n, d] : distributions) {
+        os << "  " << std::left << std::setw(36) << n
+           << "n=" << d->count()
+           << " mean=" << d->mean()
+           << " min=" << d->min()
+           << " med=" << d->median()
+           << " max=" << d->max() << "\n";
+    }
+}
+
+} // namespace tss

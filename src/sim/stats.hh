@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Simulation statistics: scalar counters, sampled distributions, and
+ * time-weighted averages, collected into named groups for dumping.
+ */
+
+#ifndef TSS_SIM_STATS_HH
+#define TSS_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "types.hh"
+
+namespace tss
+{
+
+/** A simple monotonically updated scalar statistic. */
+class Counter
+{
+  public:
+    Counter &operator++() { ++_value; return *this; }
+    Counter &operator+=(std::uint64_t n) { _value += n; return *this; }
+    std::uint64_t value() const { return _value; }
+    void reset() { _value = 0; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/**
+ * A sampled distribution retaining every sample, so exact percentiles
+ * are available. Sample counts in this simulator are bounded by the
+ * number of tasks/messages, which keeps full retention cheap.
+ */
+class Distribution
+{
+  public:
+    void
+    sample(double v)
+    {
+        samples.push_back(v);
+        sorted = false;
+    }
+
+    std::size_t count() const { return samples.size(); }
+
+    double
+    sum() const
+    {
+        double s = 0;
+        for (double v : samples)
+            s += v;
+        return s;
+    }
+
+    double mean() const { return samples.empty() ? 0 : sum() / count(); }
+
+    double
+    min() const
+    {
+        double m = std::numeric_limits<double>::infinity();
+        for (double v : samples)
+            m = std::min(m, v);
+        return samples.empty() ? 0 : m;
+    }
+
+    double
+    max() const
+    {
+        double m = -std::numeric_limits<double>::infinity();
+        for (double v : samples)
+            m = std::max(m, v);
+        return samples.empty() ? 0 : m;
+    }
+
+    /** Exact percentile in [0, 100] by nearest-rank. */
+    double
+    percentile(double p) const
+    {
+        if (samples.empty())
+            return 0;
+        ensureSorted();
+        double rank = p / 100.0 * (static_cast<double>(count()) - 1);
+        auto idx = static_cast<std::size_t>(rank + 0.5);
+        return sortedSamples[std::min(idx, count() - 1)];
+    }
+
+    double median() const { return percentile(50); }
+
+    void
+    reset()
+    {
+        samples.clear();
+        sortedSamples.clear();
+        sorted = false;
+    }
+
+  private:
+    void
+    ensureSorted() const
+    {
+        if (!sorted) {
+            sortedSamples = samples;
+            std::sort(sortedSamples.begin(), sortedSamples.end());
+            sorted = true;
+        }
+    }
+
+    std::vector<double> samples;
+    mutable std::vector<double> sortedSamples;
+    mutable bool sorted = false;
+};
+
+/**
+ * Time-weighted average of a piecewise-constant quantity (queue
+ * occupancy, cores busy, ...). Call update() at every change with the
+ * current simulated time.
+ */
+class TimeWeighted
+{
+  public:
+    void
+    update(Cycle now, double new_value)
+    {
+        if (now > lastTime)
+            integral += current * static_cast<double>(now - lastTime);
+        lastTime = now;
+        current = new_value;
+        peak = std::max(peak, new_value);
+    }
+
+    void add(Cycle now, double delta) { update(now, current + delta); }
+
+    /** Average over [0, now]. */
+    double
+    average(Cycle now) const
+    {
+        double total = integral;
+        if (now > lastTime)
+            total += current * static_cast<double>(now - lastTime);
+        return now == 0 ? current : total / static_cast<double>(now);
+    }
+
+    double value() const { return current; }
+    double maximum() const { return peak; }
+
+  private:
+    double current = 0;
+    double integral = 0;
+    double peak = 0;
+    Cycle lastTime = 0;
+};
+
+/**
+ * A named collection of statistics owned by a module, dumpable as an
+ * aligned text block. Stats register by pointer; the group does not
+ * own them.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    void addCounter(const std::string &n, const Counter *c)
+    {
+        counters.emplace_back(n, c);
+    }
+
+    void addDistribution(const std::string &n, const Distribution *d)
+    {
+        distributions.emplace_back(n, d);
+    }
+
+    const std::string &name() const { return _name; }
+
+    /** Write all registered statistics to @p os. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::string _name;
+    std::vector<std::pair<std::string, const Counter *>> counters;
+    std::vector<std::pair<std::string, const Distribution *>> distributions;
+};
+
+} // namespace tss
+
+#endif // TSS_SIM_STATS_HH

@@ -1,0 +1,25 @@
+#include "types.hh"
+
+#include <sstream>
+
+namespace tss
+{
+
+std::string
+toString(const TaskId &id)
+{
+    std::ostringstream os;
+    os << "<" << id.trs << "," << id.slot << ">";
+    return os.str();
+}
+
+std::string
+toString(const OperandId &id)
+{
+    std::ostringstream os;
+    os << "<" << id.task.trs << "," << id.task.slot << ","
+       << static_cast<int>(id.index) << ">";
+    return os.str();
+}
+
+} // namespace tss

@@ -1,0 +1,116 @@
+#include "sw_runtime.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/logging.hh"
+
+namespace tss
+{
+
+SoftwareRuntime::SoftwareRuntime(const SwRuntimeConfig &config,
+                                 const TaskTrace &task_trace)
+    : cfg(config), trace(task_trace),
+      graph(DepGraph::build(task_trace, Semantics::Renamed))
+{
+    // The software runtime also renames: StarSs breaks WaW/WaR hazards
+    // through object renaming in its runtime, so both systems race on
+    // the same dependency graph.
+    auto n = static_cast<std::uint32_t>(trace.size());
+    pendingPreds.resize(n);
+    decoded.assign(n, false);
+    startedAt.assign(n, invalidCycle);
+    for (std::uint32_t t = 0; t < n; ++t)
+        pendingPreds[t] = static_cast<std::uint32_t>(graph.inDegree(t));
+    idleCores = cfg.numCores;
+}
+
+void
+SoftwareRuntime::taskReady(std::uint32_t task)
+{
+    readyIntegral += static_cast<double>(readyq.size() - readyHead) *
+        static_cast<double>(eq.now() - lastReadySample);
+    lastReadySample = eq.now();
+    readyq.push_back(task);
+    if (idleCores > 0) {
+        --idleCores;
+        std::uint32_t next = readyq[readyHead++];
+        startTask(next);
+    }
+}
+
+void
+SoftwareRuntime::startTask(std::uint32_t task)
+{
+    startedAt[task] = eq.now() + cfg.dispatchCostCycles;
+    Cycle finish = eq.now() + cfg.dispatchCostCycles +
+        trace.tasks[task].runtime;
+    eq.schedule(finish, [this, task] { taskFinished(task); });
+}
+
+void
+SoftwareRuntime::taskFinished(std::uint32_t task)
+{
+    lastFinish = eq.now();
+    for (std::uint32_t succ : graph.succ(task)) {
+        TSS_ASSERT(pendingPreds[succ] > 0, "dependency underflow");
+        if (--pendingPreds[succ] == 0 && decoded[succ])
+            taskReady(succ);
+    }
+    if (readyHead < readyq.size()) {
+        std::uint32_t next = readyq[readyHead++];
+        startTask(next);
+    } else {
+        ++idleCores;
+    }
+}
+
+SwRunResult
+SoftwareRuntime::run()
+{
+    auto n = static_cast<std::uint32_t>(trace.size());
+
+    // The master thread decodes tasks strictly in order at the
+    // software decode rate; a decoded task with no outstanding
+    // dependencies enters the ready queue (infinite window).
+    for (std::uint32_t t = 0; t < n; ++t) {
+        Cycle when = cfg.decodeCostCycles * (Cycle(t) + 1);
+        eq.schedule(when, [this, t] {
+            decoded[t] = true;
+            if (pendingPreds[t] == 0)
+                taskReady(t);
+        });
+    }
+
+    eq.run();
+
+    SwRunResult result;
+    result.numTasks = n;
+    result.sequential = trace.sequentialCycles();
+    result.makespan = lastFinish;
+    if (result.makespan > 0) {
+        result.speedup = static_cast<double>(result.sequential) /
+            static_cast<double>(result.makespan);
+    }
+    result.decodeRateCycles = static_cast<double>(cfg.decodeCostCycles);
+    result.avgReadyQueue = result.makespan == 0
+        ? 0 : readyIntegral / static_cast<double>(result.makespan);
+
+    std::vector<std::uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  if (startedAt[a] != startedAt[b])
+                      return startedAt[a] < startedAt[b];
+                  return a < b;
+              });
+    result.startOrder = std::move(order);
+
+    for (std::uint32_t t = 0; t < n; ++t) {
+        TSS_ASSERT(startedAt[t] != invalidCycle,
+                   "software runtime deadlock: task %u never ran", t);
+    }
+    return result;
+}
+
+} // namespace tss

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The software-runtime baseline: a StarSs-style master thread that
+ * decodes task dependencies in software. Decoding is exact (the same
+ * reference analysis used everywhere in this repository) and the
+ * window is effectively infinite, but the master serializes decode at
+ * ~700 ns per task — the measured rate of the tuned StarSs decoder on
+ * a 2.66 GHz Core 2 Duo (paper section II). This is the gray curve of
+ * Figure 16.
+ */
+
+#ifndef TSS_SWRUNTIME_SW_RUNTIME_HH
+#define TSS_SWRUNTIME_SW_RUNTIME_HH
+
+#include <vector>
+
+#include "graph/dep_graph.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+#include "trace/task_trace.hh"
+
+namespace tss
+{
+
+/** Software runtime model parameters. */
+struct SwRuntimeConfig
+{
+    unsigned numCores = 256;
+
+    /** Master-thread cost to decode one task's dependencies. */
+    Cycle decodeCostCycles = defaultClock.nsToCycles(700.0);
+
+    /** Per-task dispatch overhead on the worker side. */
+    Cycle dispatchCostCycles = 64;
+};
+
+/** Result of a software-runtime run. */
+struct SwRunResult
+{
+    std::size_t numTasks = 0;
+    Cycle makespan = 0;
+    Cycle sequential = 0;
+    double speedup = 0;
+    double decodeRateCycles = 0;
+    double avgReadyQueue = 0;
+
+    /** Trace indices ordered by execution start time. */
+    std::vector<std::uint32_t> startOrder;
+};
+
+/**
+ * Discrete-event model of the software runtime: sequential decode at
+ * a fixed rate, infinite task window, exact dependencies, greedy
+ * dispatch to @p numCores workers.
+ */
+class SoftwareRuntime
+{
+  public:
+    SoftwareRuntime(const SwRuntimeConfig &config,
+                    const TaskTrace &task_trace);
+
+    SwRunResult run();
+
+  private:
+    void taskReady(std::uint32_t task);
+    void startTask(std::uint32_t task);
+    void taskFinished(std::uint32_t task);
+
+    SwRuntimeConfig cfg;
+    const TaskTrace &trace;
+    DepGraph graph;
+
+    EventQueue eq;
+    std::vector<std::uint32_t> pendingPreds;
+    std::vector<bool> decoded;
+    std::vector<Cycle> startedAt;
+    std::vector<std::uint32_t> readyq;
+    std::size_t readyHead = 0;
+    unsigned idleCores = 0;
+    Cycle lastFinish = 0;
+    double readyIntegral = 0;
+    Cycle lastReadySample = 0;
+};
+
+} // namespace tss
+
+#endif // TSS_SWRUNTIME_SW_RUNTIME_HH

@@ -1,0 +1,18 @@
+#include "task_trace.hh"
+
+namespace tss
+{
+
+const char *
+dirName(Dir dir)
+{
+    switch (dir) {
+      case Dir::In: return "in";
+      case Dir::Out: return "out";
+      case Dir::InOut: return "inout";
+      case Dir::Scalar: return "scalar";
+    }
+    return "?";
+}
+
+} // namespace tss

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The task trace: the stream of annotated tasks emitted by the
+ * (sequential) task-generating thread. Traces drive both the task
+ * superscalar pipeline and the software-runtime baseline, mirroring
+ * the paper's trace-driven TaskSim methodology.
+ */
+
+#ifndef TSS_TRACE_TASK_TRACE_HH
+#define TSS_TRACE_TASK_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace tss
+{
+
+/**
+ * Operand directionality, as annotated in the StarSs source
+ * (`#pragma css task input(...) output(...) inout(...)`). Scalars are
+ * by-value inputs that need no dependency tracking.
+ */
+enum class Dir : std::uint8_t { In, Out, InOut, Scalar };
+
+/** Human-readable name of a directionality. */
+const char *dirName(Dir dir);
+
+/** True for operands the ORT must track (memory objects). */
+constexpr bool
+isMemoryOperand(Dir dir)
+{
+    return dir != Dir::Scalar;
+}
+
+/** True when the operand reads its object (input or inout). */
+constexpr bool
+readsObject(Dir dir)
+{
+    return dir == Dir::In || dir == Dir::InOut;
+}
+
+/** True when the operand writes its object (output or inout). */
+constexpr bool
+writesObject(Dir dir)
+{
+    return dir == Dir::Out || dir == Dir::InOut;
+}
+
+/** One task operand: direction, base address and object size. */
+struct TraceOperand
+{
+    Dir dir = Dir::In;
+    std::uint64_t addr = 0;
+    Bytes bytes = 0;
+};
+
+/** One dynamic task instance. */
+struct TraceTask
+{
+    /** Index into TaskTrace::kernelNames. */
+    std::uint32_t kernel = 0;
+
+    /** Execution time on a worker core, in cycles. */
+    Cycle runtime = 0;
+
+    std::vector<TraceOperand> operands;
+
+    /** Number of operands the ORTs must process. */
+    unsigned
+    numMemoryOperands() const
+    {
+        unsigned n = 0;
+        for (const auto &op : operands)
+            n += isMemoryOperand(op.dir) ? 1 : 0;
+        return n;
+    }
+
+    /** Total bytes of memory objects touched by this task. */
+    Bytes
+    dataBytes() const
+    {
+        Bytes total = 0;
+        for (const auto &op : operands)
+            if (isMemoryOperand(op.dir))
+                total += op.bytes;
+        return total;
+    }
+};
+
+/** A complete task stream produced by one task-generating thread. */
+struct TaskTrace
+{
+    std::string name;
+    std::vector<std::string> kernelNames;
+    std::vector<TraceTask> tasks;
+
+    std::size_t size() const { return tasks.size(); }
+    bool empty() const { return tasks.empty(); }
+
+    /** Register a kernel name, returning its id. */
+    std::uint32_t
+    addKernel(std::string kernel_name)
+    {
+        kernelNames.push_back(std::move(kernel_name));
+        return static_cast<std::uint32_t>(kernelNames.size() - 1);
+    }
+
+    /** Sum of all task runtimes = sequential execution time. */
+    Cycle
+    sequentialCycles() const
+    {
+        Cycle total = 0;
+        for (const auto &t : tasks)
+            total += t.runtime;
+        return total;
+    }
+};
+
+} // namespace tss
+
+#endif // TSS_TRACE_TASK_TRACE_HH

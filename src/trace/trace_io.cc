@@ -1,0 +1,112 @@
+#include "trace_io.hh"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace tss
+{
+
+namespace
+{
+
+Dir
+parseDir(const std::string &s)
+{
+    if (s == "in")
+        return Dir::In;
+    if (s == "out")
+        return Dir::Out;
+    if (s == "inout")
+        return Dir::InOut;
+    if (s == "scalar")
+        return Dir::Scalar;
+    fatal("bad operand direction '%s' in trace", s.c_str());
+}
+
+} // namespace
+
+void
+writeTrace(std::ostream &os, const TaskTrace &trace)
+{
+    os << "trace " << trace.name << "\n";
+    for (std::size_t k = 0; k < trace.kernelNames.size(); ++k)
+        os << "kernel " << k << " " << trace.kernelNames[k] << "\n";
+    for (const auto &task : trace.tasks) {
+        os << "task " << task.kernel << " " << task.runtime << " "
+           << task.operands.size() << "\n";
+        for (const auto &op : task.operands) {
+            os << "op " << dirName(op.dir) << " " << std::hex
+               << op.addr << std::dec << " " << op.bytes << "\n";
+        }
+    }
+}
+
+TaskTrace
+readTrace(std::istream &is)
+{
+    TaskTrace trace;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string tag;
+        ls >> tag;
+        if (tag == "trace") {
+            ls >> trace.name;
+        } else if (tag == "kernel") {
+            std::size_t id;
+            std::string kname;
+            ls >> id >> kname;
+            if (id != trace.kernelNames.size())
+                fatal("non-sequential kernel id %zu in trace", id);
+            trace.kernelNames.push_back(kname);
+        } else if (tag == "task") {
+            TraceTask task;
+            std::size_t nops;
+            ls >> task.kernel >> task.runtime >> nops;
+            task.operands.reserve(nops);
+            for (std::size_t i = 0; i < nops; ++i) {
+                if (!std::getline(is, line))
+                    fatal("truncated trace: missing operand line");
+                std::istringstream ops(line);
+                std::string optag, dir;
+                TraceOperand op;
+                ops >> optag >> dir >> std::hex >> op.addr >> std::dec
+                    >> op.bytes;
+                if (optag != "op")
+                    fatal("expected 'op' line, got '%s'", line.c_str());
+                op.dir = parseDir(dir);
+                task.operands.push_back(op);
+            }
+            trace.tasks.push_back(std::move(task));
+        } else {
+            fatal("unknown trace line tag '%s'", tag.c_str());
+        }
+    }
+    return trace;
+}
+
+void
+saveTrace(const std::string &path, const TaskTrace &trace)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '%s' for writing", path.c_str());
+    writeTrace(os, trace);
+}
+
+TaskTrace
+loadTrace(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open '%s' for reading", path.c_str());
+    return readTrace(is);
+}
+
+} // namespace tss

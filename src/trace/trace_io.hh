@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Plain-text serialization of task traces, so workloads can be
+ * generated once and replayed, inspected, or diffed.
+ *
+ * Format (line oriented):
+ *   trace <name>
+ *   kernel <id> <name>
+ *   task <kernel-id> <runtime-cycles> <num-operands>
+ *   op <dir> <addr-hex> <bytes>
+ */
+
+#ifndef TSS_TRACE_TRACE_IO_HH
+#define TSS_TRACE_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/task_trace.hh"
+
+namespace tss
+{
+
+/** Write @p trace to @p os in the text format. */
+void writeTrace(std::ostream &os, const TaskTrace &trace);
+
+/**
+ * Parse a trace from @p is.
+ * @throws none; calls fatal() on malformed input.
+ */
+TaskTrace readTrace(std::istream &is);
+
+/** Convenience file wrappers. */
+void saveTrace(const std::string &path, const TaskTrace &trace);
+TaskTrace loadTrace(const std::string &path);
+
+} // namespace tss
+
+#endif // TSS_TRACE_TRACE_IO_HH

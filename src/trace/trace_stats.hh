@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Table I statistics over a task trace: per-task data size, runtime
+ * distribution, and the decode-rate limit R = T_min / P for driving a
+ * P-way CMP (paper section II).
+ */
+
+#ifndef TSS_TRACE_TRACE_STATS_HH
+#define TSS_TRACE_TRACE_STATS_HH
+
+#include <string>
+
+#include "trace/task_trace.hh"
+
+namespace tss
+{
+
+/** Aggregate statistics of a trace, in Table I's units. */
+struct TraceStats
+{
+    std::string name;
+    std::size_t numTasks = 0;
+
+    double avgDataKB = 0;      ///< average per-task data footprint
+    double minRuntimeUs = 0;   ///< shortest task
+    double medRuntimeUs = 0;   ///< median task
+    double avgRuntimeUs = 0;   ///< mean task
+
+    double avgOperands = 0;    ///< mean memory operands per task
+    double maxOperands = 0;
+
+    /** Decode-rate limit (ns/task) to keep @p processors busy. */
+    double decodeRateLimitNs(unsigned processors = 256) const;
+
+    /** Compute statistics for @p trace under @p clock. */
+    static TraceStats compute(const TaskTrace &trace,
+                              const Clock &clock = defaultClock);
+};
+
+} // namespace tss
+
+#endif // TSS_TRACE_TRACE_STATS_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Synthetic address space for workload generation: hands out unique,
+ * aligned base addresses for the memory objects a benchmark touches.
+ */
+
+#ifndef TSS_WORKLOAD_ADDRESS_SPACE_HH
+#define TSS_WORKLOAD_ADDRESS_SPACE_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace tss
+{
+
+/** Bump allocator over a synthetic virtual address range. */
+class AddressSpace
+{
+  public:
+    explicit AddressSpace(std::uint64_t base = 0x1000'0000,
+                          std::uint64_t alignment = 256)
+        : next(base), align(alignment)
+    {}
+
+    /** Allocate an object of @p bytes; returns its base address. */
+    std::uint64_t
+    alloc(Bytes bytes)
+    {
+        std::uint64_t addr = next;
+        std::uint64_t size = (bytes + align - 1) / align * align;
+        next += size;
+        return addr;
+    }
+
+  private:
+    std::uint64_t next;
+    std::uint64_t align;
+};
+
+} // namespace tss
+
+#endif // TSS_WORKLOAD_ADDRESS_SPACE_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Fluent helper for emitting tasks into a trace; used by all nine
+ * workload generators.
+ */
+
+#ifndef TSS_WORKLOAD_BUILDER_HH
+#define TSS_WORKLOAD_BUILDER_HH
+
+#include <utility>
+
+#include "sim/logging.hh"
+#include "trace/task_trace.hh"
+
+namespace tss
+{
+
+/** Emits tasks into a TaskTrace with chained operand calls. */
+class TaskBuilder
+{
+  public:
+    explicit TaskBuilder(TaskTrace &target) : trace(target) {}
+
+    /** Start a new task of @p kernel running for @p runtime cycles. */
+    TaskBuilder &
+    begin(std::uint32_t kernel, Cycle runtime)
+    {
+        TSS_ASSERT(!open, "begin() while a task is open");
+        cur = TraceTask{};
+        cur.kernel = kernel;
+        cur.runtime = runtime;
+        open = true;
+        return *this;
+    }
+
+    TaskBuilder &
+    in(std::uint64_t addr, Bytes bytes)
+    {
+        return addOp(Dir::In, addr, bytes);
+    }
+
+    TaskBuilder &
+    out(std::uint64_t addr, Bytes bytes)
+    {
+        return addOp(Dir::Out, addr, bytes);
+    }
+
+    TaskBuilder &
+    inout(std::uint64_t addr, Bytes bytes)
+    {
+        return addOp(Dir::InOut, addr, bytes);
+    }
+
+    TaskBuilder &
+    scalar(Bytes bytes = 8)
+    {
+        return addOp(Dir::Scalar, 0, bytes);
+    }
+
+    /** Finish the open task and append it to the trace. */
+    void
+    commit()
+    {
+        TSS_ASSERT(open, "commit() without begin()");
+        trace.tasks.push_back(std::move(cur));
+        open = false;
+    }
+
+  private:
+    TaskBuilder &
+    addOp(Dir dir, std::uint64_t addr, Bytes bytes)
+    {
+        TSS_ASSERT(open, "operand added outside begin()/commit()");
+        cur.operands.push_back(TraceOperand{dir, addr, bytes});
+        return *this;
+    }
+
+    TaskTrace &trace;
+    TraceTask cur;
+    bool open = false;
+};
+
+} // namespace tss
+
+#endif // TSS_WORKLOAD_BUILDER_HH

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * H264 HD decode. Each task decodes a group of macroblocks; inside a
+ * frame the tasks form the classic diagonal wavefront (a block
+ * depends on its west, north-west, north and north-east neighbours),
+ * and every block also references nearby blocks of the predecessor
+ * frame, producing RaW chains that span the whole clip — the paper's
+ * showcase of *distant* parallelism that only very large task windows
+ * (or the software runtime's infinite window) can uncover.
+ *
+ * A per-frame parse task (entropy decode of the slice header) produces
+ * the frame's parameter buffer; the decoded slice parameters are then
+ * passed to the block tasks *by value* (scalar operands), as StarSs
+ * codes do for small read-shared configuration data — keeping consumer
+ * chains bounded by the macroblock fan-out (<= 7, matching the paper's
+ * chain-length observation). Parse tasks are the 2 us minimum-runtime
+ * tasks of Table I.
+ *
+ * Table I targets: 97 KB data, runtimes min 2 / med 115 / avg 130 us,
+ * ~94% of tasks with more than 6 memory operands.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "sim/random.hh"
+#include "workload/address_space.hh"
+#include "workload/builder.hh"
+#include "workload/runtime_model.hh"
+#include "workload/workload.hh"
+
+namespace tss
+{
+
+TaskTrace
+genH264Grid(unsigned width, unsigned height, unsigned frames,
+            std::uint64_t seed)
+{
+    TaskTrace trace;
+    trace.name = "H264";
+    auto parse = trace.addKernel("parse_slice");
+    auto decode = trace.addKernel("decode_mb_group");
+
+    Rng rng(seed);
+    AddressSpace mem;
+    const Bytes mb_bytes = 11 * 1024;   // decoded macroblock group
+    const Bytes params_bytes = 2 * 1024;
+
+    // Two frame buffers would suffice, but a real decoder keeps a
+    // reference window; renaming makes the reuse pattern irrelevant.
+    std::vector<std::uint64_t> mb(std::size_t(width) * height * frames);
+    for (auto &addr : mb)
+        addr = mem.alloc(mb_bytes);
+    std::vector<std::uint64_t> params(frames);
+    for (auto &addr : params)
+        addr = mem.alloc(params_bytes);
+
+    auto MB = [&](unsigned x, unsigned y, unsigned f) {
+        return mb[(std::size_t(f) * height + y) * width + x];
+    };
+
+    const RuntimeModel parse_rt{3.0, 0.8, 2.0};
+    const RuntimeModel body_rt{112.0, 10.0, 40.0};
+    const RuntimeModel tail_rt{200.0, 22.0, 120.0};
+
+    TaskBuilder b(trace);
+    for (unsigned f = 0; f < frames; ++f) {
+        b.begin(parse, parse_rt.draw(rng)).out(params[f], params_bytes);
+        b.commit();
+
+        for (unsigned y = 0; y < height; ++y) {
+            for (unsigned x = 0; x < width; ++x) {
+                // Runtime mix: mostly ~112 us, a heavy tail of
+                // ~200 us blocks, and a few near-empty skip regions.
+                Cycle rt;
+                double u = rng.uniform();
+                if (u < 0.06)
+                    rt = defaultClock.usToCycles(rng.uniform(2.5, 10.0));
+                else if (u < 0.32)
+                    rt = tail_rt.draw(rng);
+                else
+                    rt = body_rt.draw(rng);
+
+                b.begin(decode, rt);
+                // Slice parameters arrive by value; the wavefront
+                // dependency on the parse task flows through the
+                // first macroblock group (x==0, y==0) below.
+                if (x == 0 && y == 0)
+                    b.in(params[f], params_bytes);
+                else
+                    b.scalar(64);
+                // Intra-frame wavefront: W, NW, N, NE.
+                if (x > 0)
+                    b.in(MB(x - 1, y, f), mb_bytes);
+                if (x > 0 && y > 0)
+                    b.in(MB(x - 1, y - 1, f), mb_bytes);
+                if (y > 0)
+                    b.in(MB(x, y - 1, f), mb_bytes);
+                if (x + 1 < width && y > 0)
+                    b.in(MB(x + 1, y - 1, f), mb_bytes);
+                // Inter-frame references to nearby predecessor
+                // blocks (motion compensation): colocated plus the
+                // east/south/south-east neighbours.
+                if (f > 0) {
+                    unsigned rx = std::min(x + 1, width - 1);
+                    unsigned ry = std::min(y + 1, height - 1);
+                    b.in(MB(x, y, f - 1), mb_bytes);
+                    if (rx != x)
+                        b.in(MB(rx, y, f - 1), mb_bytes);
+                    if (ry != y)
+                        b.in(MB(x, ry, f - 1), mb_bytes);
+                    if (rx != x && ry != y)
+                        b.in(MB(rx, ry, f - 1), mb_bytes);
+                }
+                b.out(MB(x, y, f), mb_bytes);
+                b.commit();
+            }
+        }
+    }
+    return trace;
+}
+
+TaskTrace
+genH264(const WorkloadParams &params)
+{
+    // "Over 2000 tasks per frame" (paper section VI-C): 50x40 grid.
+    // Frame count scales the trace; the inter-frame RaW chains span
+    // the whole clip, so longer clips put real pressure on the task
+    // window (the effect behind Figures 14/15 and the H264 software
+    // crossover in Figure 16).
+    auto frames = static_cast<unsigned>(std::lround(30.0 * params.scale));
+    frames = std::max(2u, frames);
+    return genH264Grid(50, 40, frames, params.seed);
+}
+
+} // namespace tss

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * K-Nearest-Neighbors classification. Distance tasks compare a query
+ * block against a training block (fully parallel); per query block a
+ * wide fan-in merge selects the k best candidates. Tasks are long
+ * (~95% run >100 us), which is why the software runtime also scales
+ * for this benchmark (paper Figure 16).
+ *
+ * Table I targets: 10 KB data, runtimes min 17 / med 107 / avg 109 us.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "sim/random.hh"
+#include "workload/address_space.hh"
+#include "workload/builder.hh"
+#include "workload/runtime_model.hh"
+#include "workload/workload.hh"
+
+namespace tss
+{
+
+namespace
+{
+
+TaskTrace
+genKnnSized(unsigned query_blocks, unsigned train_blocks,
+            std::uint64_t seed)
+{
+    TaskTrace trace;
+    trace.name = "Knn";
+    auto distance = trace.addKernel("distance_block");
+    auto merge = trace.addKernel("merge_candidates");
+
+    Rng rng(seed);
+    AddressSpace mem;
+    const Bytes query_bytes = 4 * 1024;
+    const Bytes train_bytes = 4 * 1024;
+    const Bytes cand_bytes = 2 * 1024;
+    const unsigned fanin = 16;
+
+    std::vector<std::uint64_t> queries(query_blocks);
+    std::vector<std::uint64_t> train(train_blocks);
+    for (auto &addr : queries)
+        addr = mem.alloc(query_bytes);
+    for (auto &addr : train)
+        addr = mem.alloc(train_bytes);
+
+    const RuntimeModel dist_body{107.0, 3.0, 101.0};
+    const RuntimeModel dist_tail{141.0, 7.0, 110.0};
+    const RuntimeModel merge_rt{19.0, 1.5, 17.0};
+
+    TaskBuilder b(trace);
+    for (unsigned q = 0; q < query_blocks; ++q) {
+        std::vector<std::uint64_t> cands(train_blocks);
+        for (auto &addr : cands)
+            addr = mem.alloc(cand_bytes);
+
+        for (unsigned t = 0; t < train_blocks; ++t) {
+            Cycle rt = rng.chance(0.15) ? dist_tail.draw(rng)
+                                        : dist_body.draw(rng);
+            b.begin(distance, rt)
+                .in(queries[q], query_bytes)
+                .in(train[t], train_bytes)
+                .out(cands[t], cand_bytes);
+            b.commit();
+        }
+
+        // Fan-in merge keeping the k best candidates per query.
+        std::vector<std::uint64_t> level(cands);
+        while (level.size() > 1) {
+            std::vector<std::uint64_t> next;
+            for (std::size_t base = 0; base < level.size();
+                 base += fanin) {
+                std::size_t end = std::min(base + fanin, level.size());
+                if (end - base == 1) {
+                    next.push_back(level[base]);
+                    continue;
+                }
+                b.begin(merge, merge_rt.draw(rng));
+                b.inout(level[base], cand_bytes);
+                for (std::size_t i = base + 1; i < end; ++i)
+                    b.in(level[i], cand_bytes);
+                b.commit();
+                next.push_back(level[base]);
+            }
+            level.swap(next);
+        }
+    }
+    return trace;
+}
+
+} // namespace
+
+TaskTrace
+genKnn(const WorkloadParams &params)
+{
+    // Q*T distance tasks dominate; scale=1 gives ~8.8k tasks.
+    auto q = static_cast<unsigned>(
+        std::lround(128.0 * std::sqrt(params.scale)));
+    q = std::max(2u, q);
+    return genKnnSized(q, 64, params.seed);
+}
+
+} // namespace tss

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Blocked matrix multiplication C += A * B. Each (i,j,k) task reads
+ * A[i][k] and B[k][j] and accumulates into C[i][j]; the k-loop forms
+ * an inout chain per C block, while distinct (i,j) pairs are
+ * independent — the classic abundant-parallelism workload.
+ *
+ * Table I targets: 48 KB data, constant 23 us tasks.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "workload/address_space.hh"
+#include "workload/builder.hh"
+#include "workload/workload.hh"
+
+namespace tss
+{
+
+TaskTrace
+genMatMulBlocked(unsigned n, Bytes block_bytes, std::uint64_t seed)
+{
+    (void)seed; // MatMul task runtimes are constant (Table I).
+    TaskTrace trace;
+    trace.name = "MatMul";
+    auto sgemm = trace.addKernel("sgemm_t");
+
+    AddressSpace mem;
+    std::vector<std::uint64_t> a(std::size_t(n) * n);
+    std::vector<std::uint64_t> bm(std::size_t(n) * n);
+    std::vector<std::uint64_t> c(std::size_t(n) * n);
+    for (auto &addr : a)
+        addr = mem.alloc(block_bytes);
+    for (auto &addr : bm)
+        addr = mem.alloc(block_bytes);
+    for (auto &addr : c)
+        addr = mem.alloc(block_bytes);
+
+    const Cycle runtime = defaultClock.usToCycles(23.0);
+
+    TaskBuilder b(trace);
+    for (unsigned i = 0; i < n; ++i) {
+        for (unsigned j = 0; j < n; ++j) {
+            for (unsigned k = 0; k < n; ++k) {
+                b.begin(sgemm, runtime)
+                    .in(a[i * n + k], block_bytes)
+                    .in(bm[k * n + j], block_bytes)
+                    .inout(c[i * n + j], block_bytes);
+                b.commit();
+            }
+        }
+    }
+    return trace;
+}
+
+TaskTrace
+genMatMul(const WorkloadParams &params)
+{
+    // n^3 tasks; scale=1 gives ~13.8k tasks.
+    auto n = static_cast<unsigned>(
+        std::lround(24.0 * std::cbrt(params.scale)));
+    n = std::max(2u, n);
+    return genMatMulBlocked(n, 16 * 1024, params.seed);
+}
+
+} // namespace tss

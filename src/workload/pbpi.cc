@@ -1,0 +1,136 @@
+/**
+ * @file
+ * PBPI — Bayesian phylogenetic inference. Independent MCMC chains run
+ * generations of Metropolis-Hastings steps; each generation evaluates
+ * the phylogeny likelihood by a post-order sweep of the species tree,
+ * parallelized across alignment-site partitions (the real PBPI
+ * decomposition), then reduces per-partition likelihoods and performs
+ * the accept/reject update that serializes consecutive generations.
+ *
+ * Table I targets: 32 KB data, runtimes min 28 / med 29 / avg 29 us
+ * (PBPI's partial-likelihood kernels are remarkably uniform).
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "sim/random.hh"
+#include "workload/address_space.hh"
+#include "workload/builder.hh"
+#include "workload/runtime_model.hh"
+#include "workload/workload.hh"
+
+namespace tss
+{
+
+namespace
+{
+
+TaskTrace
+genPbpiSized(unsigned chains, unsigned generations, unsigned partitions,
+             unsigned species, std::uint64_t seed)
+{
+    TaskTrace trace;
+    trace.name = "PBPI";
+    auto plike = trace.addKernel("partial_likelihood");
+    auto rootlike = trace.addKernel("root_likelihood");
+    auto reduce = trace.addKernel("reduce_likelihood");
+    auto accept = trace.addKernel("accept_reject");
+
+    Rng rng(seed);
+    AddressSpace mem;
+    const Bytes partial_bytes = 11 * 1024;
+    const Bytes like_bytes = 4 * 1024;
+    const Bytes state_bytes = 1 * 1024;
+    const unsigned fanin = 16;
+
+    // A complete binary tree over the species: nodes [0, 2S-1), with
+    // node k's children at 2k+1 / 2k+2; leaves hold alignment data.
+    unsigned num_nodes = 2 * species - 1;
+
+    const RuntimeModel plike_rt{29.1, 0.35, 28.3};
+    const RuntimeModel root_rt{29.0, 0.3, 28.3};
+    const RuntimeModel reduce_rt{28.8, 0.3, 28.2};
+    const RuntimeModel accept_rt{28.2, 0.1, 28.0};
+
+    TaskBuilder b(trace);
+    for (unsigned c = 0; c < chains; ++c) {
+        std::uint64_t state = mem.alloc(state_bytes);
+        // partials[d][node]: per-partition per-node buffers.
+        std::vector<std::vector<std::uint64_t>> partials(partitions);
+        std::vector<std::uint64_t> site_like(partitions);
+        for (unsigned d = 0; d < partitions; ++d) {
+            partials[d].resize(num_nodes);
+            for (auto &addr : partials[d])
+                addr = mem.alloc(partial_bytes);
+            site_like[d] = mem.alloc(like_bytes);
+        }
+
+        for (unsigned g = 0; g < generations; ++g) {
+            // Post-order sweep: internal nodes from the bottom up.
+            // Iterating indices in reverse visits children first.
+            for (unsigned d = 0; d < partitions; ++d) {
+                for (int node = static_cast<int>(species) - 2;
+                     node >= 0; --node) {
+                    unsigned left = 2 * node + 1;
+                    unsigned right = 2 * node + 2;
+                    b.begin(plike, plike_rt.draw(rng))
+                        .in(state, state_bytes)
+                        .in(partials[d][left], partial_bytes)
+                        .in(partials[d][right], partial_bytes)
+                        .out(partials[d][node], partial_bytes);
+                    b.commit();
+                }
+                b.begin(rootlike, root_rt.draw(rng))
+                    .in(partials[d][0], partial_bytes)
+                    .out(site_like[d], like_bytes);
+                b.commit();
+            }
+
+            // Reduce the per-partition likelihoods.
+            std::vector<std::uint64_t> level(site_like);
+            while (level.size() > 1) {
+                std::vector<std::uint64_t> next;
+                for (std::size_t base = 0; base < level.size();
+                     base += fanin) {
+                    std::size_t end =
+                        std::min(base + fanin, level.size());
+                    if (end - base == 1) {
+                        next.push_back(level[base]);
+                        continue;
+                    }
+                    b.begin(reduce, reduce_rt.draw(rng));
+                    b.inout(level[base], like_bytes);
+                    for (std::size_t i = base + 1; i < end; ++i)
+                        b.in(level[i], like_bytes);
+                    b.commit();
+                    next.push_back(level[base]);
+                }
+                level.swap(next);
+            }
+
+            // Accept/reject mutates the chain state that the next
+            // generation's kernels read.
+            b.begin(accept, accept_rt.draw(rng))
+                .in(level[0], like_bytes)
+                .inout(state, state_bytes);
+            b.commit();
+        }
+    }
+    return trace;
+}
+
+} // namespace
+
+TaskTrace
+genPbpi(const WorkloadParams &params)
+{
+    // ~(D * (S-1) + D + 2) tasks per generation per chain;
+    // scale=1 gives ~23k tasks, with 36 site partitions x 2 chains
+    // providing ~250-wide likelihood phases.
+    auto gens = static_cast<unsigned>(std::lround(10.0 * params.scale));
+    gens = std::max(1u, gens);
+    return genPbpiSized(2, gens, 36, 32, params.seed);
+}
+
+} // namespace tss

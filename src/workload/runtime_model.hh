@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Task runtime synthesis. The paper's evaluation is trace-driven:
+ * task runtimes were measured once on the simulated platform and
+ * replayed. We synthesize runtimes from per-kernel distributions
+ * whose min/median/average match Table I.
+ */
+
+#ifndef TSS_WORKLOAD_RUNTIME_MODEL_HH
+#define TSS_WORKLOAD_RUNTIME_MODEL_HH
+
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace tss
+{
+
+/** A per-kernel runtime distribution (truncated normal), in us. */
+struct RuntimeModel
+{
+    double meanUs = 10.0;
+    double sigmaUs = 0.0;
+    double minUs = 1.0;
+
+    /** Draw one task runtime in cycles under @p clock. */
+    Cycle
+    draw(Rng &rng, const Clock &clock = defaultClock) const
+    {
+        double us = sigmaUs <= 0.0
+            ? meanUs : rng.truncNormal(meanUs, sigmaUs, minUs);
+        if (us < minUs)
+            us = minUs;
+        return clock.usToCycles(us);
+    }
+};
+
+} // namespace tss
+
+#endif // TSS_WORKLOAD_RUNTIME_MODEL_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * SPECFEM3D — spectral-element seismic wave propagation. The mesh is
+ * split into partitions; every explicit time step computes element
+ * forces (reading the neighbours' boundary data from the previous
+ * step), integrates the displacement field, and publishes fresh
+ * boundary data. The 5-point stencil makes consecutive steps overlap
+ * in a software-pipelined fashion.
+ *
+ * Table I targets: 770 KB data (the one benchmark far above L1 size),
+ * runtimes min 9 / med 14 / avg 49 us.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "sim/random.hh"
+#include "workload/address_space.hh"
+#include "workload/builder.hh"
+#include "workload/runtime_model.hh"
+#include "workload/workload.hh"
+
+namespace tss
+{
+
+namespace
+{
+
+TaskTrace
+genSpecfemSized(unsigned grid_x, unsigned grid_y, unsigned steps,
+                std::uint64_t seed)
+{
+    TaskTrace trace;
+    trace.name = "SPECFEM";
+    auto forces = trace.addKernel("compute_forces");
+    auto update = trace.addKernel("update_displacement");
+    auto exchange = trace.addKernel("publish_boundary");
+
+    Rng rng(seed);
+    AddressSpace mem;
+    const Bytes disp_bytes = 448 * 1024;
+    const Bytes force_bytes = 256 * 1024;
+    const Bytes bnd_bytes = 96 * 1024;
+
+    unsigned e_count = grid_x * grid_y;
+    std::vector<std::uint64_t> disp(e_count), force(e_count),
+        bnd(e_count);
+    for (auto &addr : disp)
+        addr = mem.alloc(disp_bytes);
+    for (auto &addr : force)
+        addr = mem.alloc(force_bytes);
+    for (auto &addr : bnd)
+        addr = mem.alloc(bnd_bytes);
+
+    auto at = [&](unsigned x, unsigned y) { return y * grid_x + x; };
+
+    const RuntimeModel forces_rt{123.5, 9.0, 95.0};
+    const RuntimeModel update_rt{14.0, 0.8, 12.0};
+    const RuntimeModel exchange_rt{9.5, 0.3, 9.0};
+
+    TaskBuilder b(trace);
+    for (unsigned step = 0; step < steps; ++step) {
+        for (unsigned y = 0; y < grid_y; ++y) {
+            for (unsigned x = 0; x < grid_x; ++x) {
+                unsigned e = at(x, y);
+                b.begin(forces, forces_rt.draw(rng));
+                b.in(disp[e], disp_bytes);
+                if (x > 0)
+                    b.in(bnd[at(x - 1, y)], bnd_bytes);
+                if (x + 1 < grid_x)
+                    b.in(bnd[at(x + 1, y)], bnd_bytes);
+                if (y > 0)
+                    b.in(bnd[at(x, y - 1)], bnd_bytes);
+                if (y + 1 < grid_y)
+                    b.in(bnd[at(x, y + 1)], bnd_bytes);
+                b.out(force[e], force_bytes);
+                b.commit();
+            }
+        }
+        for (unsigned e = 0; e < e_count; ++e) {
+            b.begin(update, update_rt.draw(rng))
+                .in(force[e], force_bytes)
+                .inout(disp[e], disp_bytes);
+            b.commit();
+            b.begin(exchange, exchange_rt.draw(rng))
+                .in(disp[e], disp_bytes)
+                .out(bnd[e], bnd_bytes);
+            b.commit();
+        }
+    }
+    return trace;
+}
+
+} // namespace
+
+TaskTrace
+genSpecfem(const WorkloadParams &params)
+{
+    // 3 * E tasks per step on a 16x16 partition grid;
+    // scale=1 gives ~23k tasks.
+    auto steps = static_cast<unsigned>(std::lround(30.0 * params.scale));
+    steps = std::max(2u, steps);
+    return genSpecfemSized(16, 16, steps, params.seed);
+}
+
+} // namespace tss

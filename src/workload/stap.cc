@@ -1,0 +1,174 @@
+/**
+ * @file
+ * STAP — space-time adaptive processing (radar). Each coherent
+ * processing interval (CPI) runs the classic pipeline: serial sensor
+ * ingest (the radar front-end delivers CPIs one after another),
+ * per-channel de-interleave, Doppler FFTs over the data cube,
+ * covariance estimation per range gate, adaptive weight solves (the
+ * long tasks), weight application, and tiny detection-summary tasks
+ * (the 1 us minimum of Table I). Cube buffers are double-buffered
+ * across CPIs; output renaming removes the resulting WaW/WaR
+ * serialization, but the serial ingest chain bounds how many CPIs
+ * can overlap — together with the 1-9 us tasks (decode-rate limit
+ * 4 ns/task, Table I) this keeps STAP at the low end of Figure 16.
+ *
+ * Table I targets: 8 KB data, runtimes min 1 / med 9 / avg 28 us.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "sim/random.hh"
+#include "workload/address_space.hh"
+#include "workload/builder.hh"
+#include "workload/runtime_model.hh"
+#include "workload/workload.hh"
+
+namespace tss
+{
+
+namespace
+{
+
+TaskTrace
+genStapSized(unsigned cpis, unsigned range_gates, unsigned channels,
+             std::uint64_t seed)
+{
+    TaskTrace trace;
+    trace.name = "STAP";
+    auto ingest = trace.addKernel("cpi_ingest");
+    auto deinterleave = trace.addKernel("deinterleave");
+    auto doppler = trace.addKernel("doppler_fft");
+    auto covar = trace.addKernel("covariance");
+    auto weights = trace.addKernel("weight_solve");
+    auto apply = trace.addKernel("apply_weights");
+    auto summarize = trace.addKernel("detect_sum");
+
+    Rng rng(seed);
+    AddressSpace mem;
+    const Bytes cube_bytes = 4 * 1024;
+    const Bytes cov_bytes = 2 * 1024;
+    const Bytes w_bytes = 2 * 1024;
+    const Bytes det_bytes = 2 * 1024;
+    const Bytes cell_bytes = 2 * 1024;
+
+    unsigned blocks = range_gates * channels;
+
+    // Double-buffered data cube: consecutive CPIs alternate buffers,
+    // so without renaming CPI i+2 would serialize behind CPI i.
+    std::vector<std::vector<std::uint64_t>> cube(2);
+    std::vector<std::vector<std::uint64_t>> det(2);
+    for (unsigned hb = 0; hb < 2; ++hb) {
+        cube[hb].resize(blocks);
+        det[hb].resize(blocks);
+        for (auto &addr : cube[hb])
+            addr = mem.alloc(cube_bytes);
+        for (auto &addr : det[hb])
+            addr = mem.alloc(det_bytes);
+    }
+    std::vector<std::uint64_t> cov(range_gates), w(range_gates),
+        cells(range_gates);
+    for (auto &addr : cov)
+        addr = mem.alloc(cov_bytes);
+    for (auto &addr : w)
+        addr = mem.alloc(w_bytes);
+    for (auto &addr : cells)
+        addr = mem.alloc(cell_bytes);
+
+    // Sensor front-end: one FIFO (serial across CPIs), per-channel
+    // raw buffers, and per-range-group staging buffers so no object
+    // collects more than a handful of readers.
+    const unsigned rgroups = 16; // staging buffers per channel
+    std::uint64_t fifo = mem.alloc(cell_bytes);
+    std::vector<std::uint64_t> chan_raw(channels);
+    for (auto &addr : chan_raw)
+        addr = mem.alloc(cube_bytes);
+    std::vector<std::uint64_t> staging(channels * rgroups);
+    for (auto &addr : staging)
+        addr = mem.alloc(cube_bytes);
+
+    const RuntimeModel ingest_rt{150.0, 6.0, 130.0};
+    const RuntimeModel deint_rt{9.0, 0.5, 8.0};
+    const RuntimeModel doppler_rt{9.0, 0.5, 8.0};
+    const RuntimeModel covar_rt{30.0, 2.0, 25.0};
+    const RuntimeModel weights_rt{200.0, 14.0, 160.0};
+    const RuntimeModel apply_rt{9.0, 0.5, 8.0};
+    const RuntimeModel sum_rt{1.3, 0.25, 1.0};
+
+    TaskBuilder b(trace);
+    for (unsigned cpi = 0; cpi < cpis; ++cpi) {
+        unsigned hb = cpi % 2;
+        auto blk = [&](unsigned r, unsigned c) {
+            return cube[hb][r * channels + c];
+        };
+
+        // The radar front-end delivers one CPI at a time (serial
+        // inout chain on the FIFO), de-interleaved per channel and
+        // staged per range group.
+        b.begin(ingest, ingest_rt.draw(rng)).inout(fifo, cell_bytes);
+        for (unsigned c = 0; c < channels; ++c)
+            b.out(chan_raw[c], cube_bytes);
+        b.commit();
+        for (unsigned c = 0; c < channels; ++c) {
+            b.begin(deinterleave, deint_rt.draw(rng))
+                .in(chan_raw[c], cube_bytes);
+            for (unsigned g = 0; g < rgroups; ++g)
+                b.out(staging[c * rgroups + g], cube_bytes);
+            b.commit();
+        }
+
+        // Doppler filtering reads its staging buffer and writes the
+        // (double-buffered, renamed) cube blocks.
+        for (unsigned r = 0; r < range_gates; ++r) {
+            for (unsigned c = 0; c < channels; ++c) {
+                unsigned g = r / (range_gates / rgroups);
+                b.begin(doppler, doppler_rt.draw(rng))
+                    .in(staging[c * rgroups + g], cube_bytes)
+                    .out(blk(r, c), cube_bytes);
+                b.commit();
+            }
+        }
+        for (unsigned r = 0; r < range_gates; ++r) {
+            b.begin(covar, covar_rt.draw(rng));
+            for (unsigned c = 0; c < channels; ++c)
+                b.in(blk(r, c), cube_bytes);
+            b.out(cov[r], cov_bytes);
+            b.commit();
+
+            b.begin(weights, weights_rt.draw(rng))
+                .in(cov[r], cov_bytes)
+                .out(w[r], w_bytes);
+            b.commit();
+        }
+        for (unsigned r = 0; r < range_gates; ++r) {
+            for (unsigned c = 0; c < channels; ++c) {
+                b.begin(apply, apply_rt.draw(rng))
+                    .in(w[r], w_bytes)
+                    .in(blk(r, c), cube_bytes)
+                    .out(det[hb][r * channels + c], det_bytes);
+                b.commit();
+            }
+        }
+        for (unsigned r = 0; r < range_gates; ++r) {
+            b.begin(summarize, sum_rt.draw(rng));
+            for (unsigned c = 0; c < channels; ++c)
+                b.in(det[hb][r * channels + c], det_bytes);
+            b.out(cells[r], cell_bytes);
+            b.commit();
+        }
+    }
+    return trace;
+}
+
+} // namespace
+
+TaskTrace
+genStap(const WorkloadParams &params)
+{
+    // ~11 * R * C tasks per CPI / 4; scale=1 gives ~25k tasks.
+    auto cpis = static_cast<unsigned>(std::lround(36.0 * params.scale));
+    cpis = std::max(2u, cpis);
+    return genStapSized(cpis, 64, 4, params.seed);
+}
+
+} // namespace tss

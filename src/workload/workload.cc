@@ -1,0 +1,41 @@
+#include "workload.hh"
+
+namespace tss
+{
+
+const std::vector<WorkloadInfo> &
+allWorkloads()
+{
+    static const std::vector<WorkloadInfo> registry = {
+        {"Cholesky", "Math. kernel",
+         "Blocked Cholesky decomposition", genCholesky},
+        {"MatMul", "Math. kernel",
+         "Blocked matrix multiplication", genMatMul},
+        {"FFT", "Signal Processing",
+         "2D Fast Fourier Transform", genFft},
+        {"H264", "Multimedia",
+         "Decoding a HD clip", genH264},
+        {"KMeans", "Machine Learning",
+         "K-Means clustering", genKMeans},
+        {"Knn", "Pattern Recognition",
+         "K-Nearest Neighbors", genKnn},
+        {"PBPI", "Bioinformatics",
+         "Bayesian Phylogenetic Inference", genPbpi},
+        {"SPECFEM", "Physics (Earth)",
+         "Seismic wave propagation", genSpecfem},
+        {"STAP", "Physics (Radar)",
+         "Space-Time Adaptive Processing", genStap},
+    };
+    return registry;
+}
+
+const WorkloadInfo *
+findWorkload(const std::string &name)
+{
+    for (const auto &info : allWorkloads())
+        if (info.name == name)
+            return &info;
+    return nullptr;
+}
+
+} // namespace tss

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Backend tests: scheduler placement and work conservation, worker
+ * execution, and end-to-end utilization on embarrassing parallelism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hh"
+#include "sim/random.hh"
+#include "workload/address_space.hh"
+#include "workload/builder.hh"
+#include "workload/workload.hh"
+
+namespace tss
+{
+namespace
+{
+
+TaskTrace
+flatTasks(unsigned count, Cycle runtime)
+{
+    TaskTrace trace;
+    trace.name = "flat";
+    trace.addKernel("k");
+    TaskBuilder b(trace);
+    AddressSpace mem;
+    for (unsigned i = 0; i < count; ++i) {
+        b.begin(0, runtime).out(mem.alloc(512), 512);
+        b.commit();
+    }
+    return trace;
+}
+
+PipelineConfig
+backendConfig(unsigned cores)
+{
+    PipelineConfig cfg;
+    cfg.numCores = cores;
+    cfg.numTrs = 4;
+    cfg.numOrt = 2;
+    cfg.trsTotalBytes = 1024 * 1024;
+    cfg.ortTotalBytes = 256 * 1024;
+    cfg.ovtTotalBytes = 256 * 1024;
+    return cfg;
+}
+
+TEST(Backend, NearPerfectUtilizationOnIndependentWork)
+{
+    // 16 cores, 160 equal tasks: speedup must be close to 16.
+    TaskTrace trace = flatTasks(160, 100'000);
+    Pipeline pipe(backendConfig(16), trace);
+    RunResult result = pipe.run(500'000'000);
+    EXPECT_GT(result.speedup, 14.5);
+    EXPECT_LE(result.speedup, 16.0);
+}
+
+TEST(Backend, SchedulerDispatchesEveryTaskOnce)
+{
+    TaskTrace trace = flatTasks(500, 10'000);
+    Pipeline pipe(backendConfig(8), trace);
+    pipe.run(500'000'000);
+    EXPECT_EQ(pipe.scheduler().tasksDispatched(), 500u);
+    EXPECT_EQ(pipe.scheduler().queuedTasks(), 0u);
+}
+
+TEST(Backend, LoadBalancesAcrossCores)
+{
+    // Unbalanced runtimes: least-loaded placement keeps the skew
+    // bounded. Check by comparing makespan against the lower bound.
+    TaskTrace trace;
+    trace.name = "skew";
+    trace.addKernel("k");
+    TaskBuilder b(trace);
+    AddressSpace mem;
+    Rng rng(5);
+    Cycle total = 0;
+    for (int i = 0; i < 400; ++i) {
+        Cycle rt = 1000 + rng.range(50'000);
+        total += rt;
+        b.begin(0, rt).out(mem.alloc(512), 512);
+        b.commit();
+    }
+    unsigned cores = 8;
+    Pipeline pipe(backendConfig(cores), trace);
+    RunResult result = pipe.run(500'000'000);
+    double lower = static_cast<double>(total) / cores;
+    EXPECT_LT(static_cast<double>(result.makespan), lower * 1.15);
+}
+
+TEST(Backend, PrefetchHidesDispatchLatency)
+{
+    // Many tiny tasks: with a per-core prefetch slot the dispatch
+    // round trip overlaps execution.
+    TaskTrace trace = flatTasks(2000, 2'000);
+    PipelineConfig with = backendConfig(8);
+    with.corePrefetch = 1;
+    PipelineConfig without = backendConfig(8);
+    without.corePrefetch = 0;
+
+    Pipeline p1(with, trace);
+    Cycle makespan_with = p1.run(1'000'000'000).makespan;
+    Pipeline p2(without, trace);
+    Cycle makespan_without = p2.run(1'000'000'000).makespan;
+    EXPECT_LE(makespan_with, makespan_without);
+}
+
+TEST(Backend, SingleCoreSerializesEverything)
+{
+    TaskTrace trace = flatTasks(50, 10'000);
+    Pipeline pipe(backendConfig(1), trace);
+    RunResult result = pipe.run(500'000'000);
+    EXPECT_GE(result.makespan, 50u * 10'000u);
+    EXPECT_LE(result.speedup, 1.0);
+}
+
+TEST(Backend, MoreCoresNeverSlower)
+{
+    TaskTrace trace = genCholeskyBlocked(10, 4096, 1);
+    double prev = 0;
+    for (unsigned cores : {4u, 16u, 64u}) {
+        Pipeline pipe(backendConfig(cores), trace);
+        double speedup = pipe.run(1'000'000'000).speedup;
+        EXPECT_GE(speedup, prev * 0.98) << cores;
+        prev = speedup;
+    }
+}
+
+} // namespace
+} // namespace tss

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests for the reference dependency engine: hazard detection under
+ * renamed and sequential semantics, the Cholesky graph of Figure 1,
+ * topological-order validation, and the dataflow limit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/dataflow_limit.hh"
+#include "graph/dep_graph.hh"
+#include "graph/dot_export.hh"
+#include "workload/workload.hh"
+
+namespace tss
+{
+namespace
+{
+
+/** Tiny trace builder for hazard cases. */
+TaskTrace
+makeTrace(const std::vector<std::vector<TraceOperand>> &tasks)
+{
+    TaskTrace trace;
+    trace.name = "test";
+    trace.addKernel("k");
+    for (const auto &ops : tasks) {
+        TraceTask t;
+        t.kernel = 0;
+        t.runtime = 100;
+        t.operands = ops;
+        trace.tasks.push_back(t);
+    }
+    return trace;
+}
+
+constexpr std::uint64_t objA = 0x1000;
+constexpr std::uint64_t objB = 0x2000;
+
+TraceOperand
+rd(std::uint64_t a)
+{
+    return {Dir::In, a, 64};
+}
+
+TraceOperand
+wr(std::uint64_t a)
+{
+    return {Dir::Out, a, 64};
+}
+
+TraceOperand
+rw(std::uint64_t a)
+{
+    return {Dir::InOut, a, 64};
+}
+
+TEST(DepGraph, RawDetected)
+{
+    TaskTrace trace = makeTrace({{wr(objA)}, {rd(objA)}});
+    DepGraph g = DepGraph::build(trace, Semantics::Renamed);
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_EQ(g.numEdges(), 1u);
+    EXPECT_EQ(g.allEdges()[0].kind, DepKind::RaW);
+}
+
+TEST(DepGraph, WawBrokenByRenaming)
+{
+    TaskTrace trace = makeTrace({{wr(objA)}, {wr(objA)}});
+    DepGraph renamed = DepGraph::build(trace, Semantics::Renamed);
+    EXPECT_EQ(renamed.numEdges(), 0u);
+    DepGraph seq = DepGraph::build(trace, Semantics::Sequential);
+    EXPECT_TRUE(seq.hasEdge(0, 1));
+    EXPECT_EQ(seq.allEdges()[0].kind, DepKind::WaW);
+}
+
+TEST(DepGraph, WarBrokenByRenamingForOutputs)
+{
+    TaskTrace trace = makeTrace({{rd(objA)}, {wr(objA)}});
+    DepGraph renamed = DepGraph::build(trace, Semantics::Renamed);
+    EXPECT_EQ(renamed.numEdges(), 0u);
+    DepGraph seq = DepGraph::build(trace, Semantics::Sequential);
+    EXPECT_TRUE(seq.hasEdge(0, 1));
+    EXPECT_EQ(seq.allEdges()[0].kind, DepKind::WaR);
+}
+
+TEST(DepGraph, WarEnforcedForInout)
+{
+    // An inout updates in place, so it must wait for prior readers
+    // even under pipeline semantics (in-order version unblocking).
+    TaskTrace trace = makeTrace({{wr(objA)}, {rd(objA)}, {rw(objA)}});
+    DepGraph g = DepGraph::build(trace, Semantics::Renamed);
+    EXPECT_TRUE(g.hasEdge(0, 1)); // RaW
+    EXPECT_TRUE(g.hasEdge(0, 2)); // RaW (inout reads)
+    EXPECT_TRUE(g.hasEdge(1, 2)); // WaR (in-place)
+}
+
+TEST(DepGraph, ReadersOfOldVersionDontBlockNewReaders)
+{
+    // w0 -> r1 (v1); w2 renames -> r3 reads v2 only.
+    TaskTrace trace =
+        makeTrace({{wr(objA)}, {rd(objA)}, {wr(objA)}, {rd(objA)}});
+    DepGraph g = DepGraph::build(trace, Semantics::Renamed);
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_TRUE(g.hasEdge(2, 3));
+    EXPECT_FALSE(g.hasEdge(0, 3));
+    EXPECT_FALSE(g.hasEdge(1, 3));
+    EXPECT_FALSE(g.hasEdge(1, 2));
+}
+
+TEST(DepGraph, InoutChainsSerialize)
+{
+    TaskTrace trace =
+        makeTrace({{rw(objA)}, {rw(objA)}, {rw(objA)}});
+    DepGraph g = DepGraph::build(trace, Semantics::Renamed);
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_TRUE(g.hasEdge(1, 2));
+    std::vector<std::uint32_t> bad{2, 1, 0};
+    EXPECT_FALSE(g.isTopologicalOrder(bad));
+    std::vector<std::uint32_t> good{0, 1, 2};
+    EXPECT_TRUE(g.isTopologicalOrder(good));
+}
+
+TEST(DepGraph, IndependentObjectsNoEdges)
+{
+    TaskTrace trace = makeTrace({{rw(objA)}, {rw(objB)}});
+    DepGraph g = DepGraph::build(trace, Semantics::Renamed);
+    EXPECT_EQ(g.numEdges(), 0u);
+    EXPECT_EQ(g.roots().size(), 2u);
+}
+
+TEST(DepGraph, ScalarsCreateNoDependencies)
+{
+    TaskTrace trace = makeTrace(
+        {{{Dir::Scalar, 0, 8}}, {{Dir::Scalar, 0, 8}}});
+    DepGraph g = DepGraph::build(trace, Semantics::Renamed);
+    EXPECT_EQ(g.numEdges(), 0u);
+}
+
+TEST(DepGraph, MultiOperandTasksDeduplicateEdges)
+{
+    TaskTrace trace = makeTrace(
+        {{wr(objA), wr(objB)}, {rd(objA), rd(objB)}});
+    DepGraph g = DepGraph::build(trace, Semantics::Renamed);
+    EXPECT_EQ(g.numEdges(), 1u); // one edge, two shared objects
+    EXPECT_TRUE(g.hasEdge(0, 1));
+}
+
+TEST(DepGraph, Cholesky5x5MatchesFigure1)
+{
+    TaskTrace trace = genCholeskyBlocked(5, 16 * 1024, 1);
+    ASSERT_EQ(trace.size(), 35u);
+    DepGraph g = DepGraph::build(trace, Semantics::Renamed);
+
+    // Task 1 (potrf of A[0][0], index 0) is the only root.
+    auto roots = g.roots();
+    ASSERT_EQ(roots.size(), 1u);
+    EXPECT_EQ(roots[0], 0u);
+
+    // Figure 1 shows tasks 6 and 23 (1-based) can run in parallel:
+    // neither reaches the other.
+    DataflowSchedule sched = computeDataflowLimit(trace, g);
+    EXPECT_LT(sched.start[5], sched.finish[22]);
+    EXPECT_LT(sched.start[22], sched.finish[5]);
+
+    // The final task (potrf of A[4][4]) finishes last.
+    Cycle last = 0;
+    for (Cycle f : sched.finish)
+        last = std::max(last, f);
+    EXPECT_EQ(sched.finish[34], last);
+}
+
+TEST(DepGraph, TopologicalOrderValidation)
+{
+    TaskTrace trace = makeTrace({{wr(objA)}, {rd(objA)}, {rd(objA)}});
+    DepGraph g = DepGraph::build(trace, Semantics::Renamed);
+    EXPECT_TRUE(g.isTopologicalOrder({0, 1, 2}));
+    EXPECT_TRUE(g.isTopologicalOrder({0, 2, 1}));
+    EXPECT_FALSE(g.isTopologicalOrder({1, 0, 2}));
+    EXPECT_FALSE(g.isTopologicalOrder({0, 1}));     // wrong size
+    EXPECT_FALSE(g.isTopologicalOrder({0, 0, 1}));  // duplicate
+}
+
+TEST(DataflowLimit, ChainAndParallelMix)
+{
+    // Two independent chains of 3 tasks, 100 cycles each.
+    TaskTrace trace = makeTrace({{rw(objA)}, {rw(objA)}, {rw(objA)},
+                                 {rw(objB)}, {rw(objB)}, {rw(objB)}});
+    DepGraph g = DepGraph::build(trace, Semantics::Renamed);
+    DataflowSchedule sched = computeDataflowLimit(trace, g);
+    EXPECT_EQ(sched.criticalPath, 300u);
+    EXPECT_EQ(sched.sequential, 600u);
+    EXPECT_DOUBLE_EQ(sched.parallelism(), 2.0);
+    EXPECT_DOUBLE_EQ(sched.speedupBound(1), 1.0);
+    EXPECT_DOUBLE_EQ(sched.speedupBound(2), 2.0);
+    EXPECT_DOUBLE_EQ(sched.speedupBound(64), 2.0); // chain-bound
+}
+
+TEST(DotExport, EmitsNodesAndEdges)
+{
+    TaskTrace trace = genCholeskyBlocked(3, 1024, 1);
+    DepGraph g = DepGraph::build(trace);
+    std::ostringstream os;
+    writeDot(os, trace, g);
+    std::string dot = os.str();
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("t0"), std::string::npos);
+    EXPECT_NE(dot.find("->"), std::string::npos);
+    EXPECT_NE(dot.find("spotrf_t"), std::string::npos);
+}
+
+} // namespace
+} // namespace tss

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for the two-level ring NoC: topology/node lookup, hop
+ * counting, delivery, per-pair FIFO ordering, and contention.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "noc/network.hh"
+#include "noc/ring.hh"
+#include "sim/event_queue.hh"
+
+namespace tss
+{
+namespace
+{
+
+/** Endpoint recording delivery times. */
+class Sink : public Endpoint
+{
+  public:
+    explicit Sink(EventQueue &queue) : eq(queue) {}
+
+    void
+    receive(MessagePtr msg) override
+    {
+        arrivals.push_back(eq.now());
+        sources.push_back(msg->src);
+    }
+
+    EventQueue &eq;
+    std::vector<Cycle> arrivals;
+    std::vector<NodeId> sources;
+};
+
+RingParams
+smallRing()
+{
+    RingParams p;
+    p.numCores = 32;
+    p.coresPerRing = 8;
+    p.numL2Banks = 8;
+    p.numMemCtrls = 2;
+    p.numFrontendTiles = 4;
+    return p;
+}
+
+TEST(RingTopology, NodeIdsAreDistinct)
+{
+    EventQueue eq;
+    RingNetwork net("noc", eq, smallRing());
+    std::vector<NodeId> all;
+    for (unsigned i = 0; i < 32; ++i)
+        all.push_back(net.coreNode(i));
+    for (unsigned i = 0; i < 4; ++i)
+        all.push_back(net.frontendNode(i));
+    for (unsigned i = 0; i < 8; ++i)
+        all.push_back(net.l2Node(i));
+    for (unsigned i = 0; i < 2; ++i)
+        all.push_back(net.memCtrlNode(i));
+    std::sort(all.begin(), all.end());
+    EXPECT_TRUE(std::adjacent_find(all.begin(), all.end()) ==
+                all.end());
+}
+
+TEST(RingTopology, HopCounts)
+{
+    EventQueue eq;
+    RingNetwork net("noc", eq, smallRing());
+    // Same node: zero hops.
+    EXPECT_EQ(net.hopCount(net.coreNode(0), net.coreNode(0)), 0u);
+    // Neighbours on the same local ring: one hop.
+    EXPECT_EQ(net.hopCount(net.coreNode(0), net.coreNode(1)), 1u);
+    // Same ring, opposite side: shortest direction <= stops/2.
+    EXPECT_LE(net.hopCount(net.coreNode(0), net.coreNode(4)), 5u);
+    // Cross-ring paths go through both hubs.
+    unsigned cross =
+        net.hopCount(net.coreNode(0), net.coreNode(31));
+    EXPECT_GT(cross, 2u);
+    // Core to frontend: local ring to hub, hub to tile.
+    EXPECT_GT(net.hopCount(net.coreNode(5), net.frontendNode(0)), 0u);
+}
+
+TEST(RingNetwork, DeliversWithLatency)
+{
+    EventQueue eq;
+    RingNetwork net("noc", eq, smallRing());
+    Sink sink(eq);
+    net.attach(net.frontendNode(0), sink);
+
+    auto msg = std::make_unique<Message>(net.coreNode(3),
+                                         net.frontendNode(0), 16);
+    net.send(std::move(msg));
+    eq.run();
+    ASSERT_EQ(sink.arrivals.size(), 1u);
+    EXPECT_GT(sink.arrivals[0], 0u);
+    EXPECT_EQ(net.messagesSent(), 1u);
+}
+
+TEST(RingNetwork, PerPairFifo)
+{
+    EventQueue eq;
+    RingNetwork net("noc", eq, smallRing());
+    Sink sink(eq);
+    net.attach(net.frontendNode(1), sink);
+
+    // A large message followed by small ones; arrivals must stay in
+    // send order despite different serialization times.
+    for (int i = 0; i < 20; ++i) {
+        Bytes size = i == 0 ? 512 : 8;
+        eq.schedule(i, [&net, size, i] {
+            auto msg = std::make_unique<Message>(0, 0, size);
+            msg->src = net.coreNode(2);
+            msg->dst = net.frontendNode(1);
+            msg->bytes = size;
+            net.send(std::move(msg));
+        });
+    }
+    eq.run();
+    ASSERT_EQ(sink.arrivals.size(), 20u);
+    for (std::size_t i = 1; i < sink.arrivals.size(); ++i)
+        EXPECT_GE(sink.arrivals[i], sink.arrivals[i - 1]);
+}
+
+TEST(RingNetwork, ContentionDelaysTraffic)
+{
+    EventQueue eq;
+    RingNetwork net("noc", eq, smallRing());
+    Sink sink(eq);
+    net.attach(net.l2Node(0), sink);
+
+    // Single probe.
+    auto probe = std::make_unique<Message>(net.coreNode(0),
+                                           net.l2Node(0), 64);
+    net.send(std::move(probe));
+    eq.run();
+    Cycle uncontended = sink.arrivals[0];
+
+    // Same probe while 64 big messages hammer the same path.
+    EventQueue eq2;
+    RingNetwork net2("noc", eq2, smallRing());
+    Sink sink2(eq2);
+    Sink other(eq2);
+    net2.attach(net2.l2Node(0), sink2);
+    net2.attach(net2.l2Node(1), other);
+    for (int i = 0; i < 64; ++i) {
+        auto noise = std::make_unique<Message>(net2.coreNode(1),
+                                               net2.l2Node(1), 1024);
+        net2.send(std::move(noise));
+    }
+    auto probe2 = std::make_unique<Message>(net2.coreNode(0),
+                                            net2.l2Node(0), 64);
+    net2.send(std::move(probe2));
+    eq2.run();
+    EXPECT_GT(sink2.arrivals[0], uncontended);
+}
+
+TEST(RingNetwork, LargeMessagesTakeLonger)
+{
+    EventQueue eq;
+    RingNetwork net("noc", eq, smallRing());
+    Sink sink(eq);
+    net.attach(net.memCtrlNode(0), sink);
+
+    auto small = std::make_unique<Message>(net.coreNode(0),
+                                           net.memCtrlNode(0), 16);
+    net.send(std::move(small));
+    eq.run();
+    Cycle small_t = sink.arrivals[0];
+
+    EventQueue eq2;
+    RingNetwork net2("noc", eq2, smallRing());
+    Sink sink2(eq2);
+    net2.attach(net2.memCtrlNode(0), sink2);
+    auto big = std::make_unique<Message>(net2.coreNode(0),
+                                         net2.memCtrlNode(0), 4096);
+    net2.send(std::move(big));
+    eq2.run();
+    EXPECT_GT(sink2.arrivals[0], small_t);
+}
+
+TEST(SimpleNetwork, ExactLatency)
+{
+    EventQueue eq;
+    SimpleNetwork net("simple", eq, 10, 16.0);
+    Sink sink(eq);
+    net.attach(42, sink);
+    auto msg = std::make_unique<Message>(7, 42, 32);
+    net.send(std::move(msg));
+    eq.run();
+    ASSERT_EQ(sink.arrivals.size(), 1u);
+    EXPECT_EQ(sink.arrivals[0], 12u); // 10 + ceil(32/16)
+}
+
+TEST(RingNetwork, ManyCoreConfigurationWorks)
+{
+    EventQueue eq;
+    RingParams p;
+    p.numCores = 257; // 256 workers + master
+    p.numFrontendTiles = 16;
+    RingNetwork net("noc", eq, p);
+    Sink sink(eq);
+    net.attach(net.frontendNode(15), sink);
+    auto msg = std::make_unique<Message>(net.coreNode(256),
+                                         net.frontendNode(15), 64);
+    net.send(std::move(msg));
+    eq.run();
+    EXPECT_EQ(sink.arrivals.size(), 1u);
+}
+
+} // namespace
+} // namespace tss

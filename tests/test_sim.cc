@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue ordering, clock
+ * conversions, statistics, and the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace tss
+{
+namespace
+{
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameCycleIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, PriorityBreaksTies)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] { order.push_back(2); }, 1);
+    eq.schedule(5, [&] { order.push_back(1); }, -1);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        eq.scheduleIn(4, [&] { fired = static_cast<int>(eq.now()); });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 5);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    int count = 0;
+    for (Cycle c = 1; c <= 10; ++c)
+        eq.schedule(c * 10, [&] { ++count; });
+    eq.runUntil(50);
+    EXPECT_EQ(count, 5);
+    EXPECT_FALSE(eq.empty());
+    eq.run();
+    EXPECT_EQ(count, 10);
+}
+
+TEST(EventQueue, RunHonorsMaxEvents)
+{
+    EventQueue eq;
+    int count = 0;
+    for (int i = 0; i < 100; ++i)
+        eq.schedule(i, [&] { ++count; });
+    EXPECT_EQ(eq.run(10), 10u);
+    EXPECT_EQ(count, 10);
+}
+
+TEST(Clock, ConvertsPaperConstants)
+{
+    // 3.2 GHz: 1 us = 3200 cycles; 58 ns ~ 186 cycles.
+    EXPECT_EQ(defaultClock.usToCycles(1.0), 3200u);
+    EXPECT_EQ(defaultClock.nsToCycles(58.0), 186u);
+    EXPECT_DOUBLE_EQ(defaultClock.cyclesToNs(3200), 1000.0);
+    EXPECT_DOUBLE_EQ(defaultClock.cyclesToUs(3200), 1.0);
+}
+
+TEST(Clock, RoundTripIsStable)
+{
+    Clock clk(2.66);
+    for (double ns : {1.0, 700.0, 2500.0}) {
+        Cycle cycles = clk.nsToCycles(ns);
+        EXPECT_NEAR(clk.cyclesToNs(cycles), ns, 0.5);
+    }
+}
+
+TEST(Stats, DistributionPercentiles)
+{
+    Distribution d;
+    for (int i = 1; i <= 100; ++i)
+        d.sample(i);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 100.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 50.5);
+    EXPECT_NEAR(d.median(), 50.0, 1.0);
+    EXPECT_NEAR(d.percentile(95), 95.0, 1.0);
+    EXPECT_EQ(d.count(), 100u);
+}
+
+TEST(Stats, DistributionInterleavedSampleAndQuery)
+{
+    Distribution d;
+    d.sample(10);
+    EXPECT_DOUBLE_EQ(d.median(), 10.0);
+    d.sample(20);
+    d.sample(30);
+    EXPECT_DOUBLE_EQ(d.median(), 20.0); // re-sorts after new samples
+}
+
+TEST(Stats, TimeWeightedAverage)
+{
+    TimeWeighted tw;
+    tw.update(0, 2.0);   // value 2 over [0, 10)
+    tw.update(10, 6.0);  // value 6 over [10, 20)
+    EXPECT_DOUBLE_EQ(tw.average(20), 4.0);
+    EXPECT_DOUBLE_EQ(tw.maximum(), 6.0);
+    EXPECT_DOUBLE_EQ(tw.value(), 6.0);
+}
+
+TEST(Stats, TimeWeightedDeltaTracking)
+{
+    TimeWeighted tw;
+    tw.add(0, +1);
+    tw.add(0, +1);
+    tw.add(50, -1);
+    EXPECT_DOUBLE_EQ(tw.average(100), (2.0 * 50 + 1.0 * 50) / 100);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double v = rng.uniform(5.0, 9.0);
+        ASSERT_GE(v, 5.0);
+        ASSERT_LT(v, 9.0);
+    }
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(11);
+    double sum = 0, sq = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        double v = rng.normal(10.0, 2.0);
+        sum += v;
+        sq += v * v;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.05);
+    EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(Rng, TruncNormalRespectsFloor)
+{
+    Rng rng(13);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_GE(rng.truncNormal(10.0, 5.0, 8.0), 8.0);
+}
+
+TEST(Types, TaskIdEqualityAndHash)
+{
+    TaskId a{1, 17, 3};
+    TaskId b{1, 17, 3};
+    TaskId c{1, 17, 4}; // different generation
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_EQ(std::hash<TaskId>()(a), std::hash<TaskId>()(b));
+    EXPECT_EQ(toString(a), "<1,17>");
+
+    OperandId op{a, 0};
+    EXPECT_EQ(toString(op), "<1,17,0>");
+    EXPECT_FALSE(TaskId{}.valid());
+    EXPECT_TRUE(a.valid());
+}
+
+} // namespace
+} // namespace tss

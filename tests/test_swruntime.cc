@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the software-runtime baseline: decode-rate-limited
+ * scaling (the core of Figure 16's software curves), schedule
+ * validity, and the infinite-window advantage.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/dep_graph.hh"
+#include "swruntime/sw_runtime.hh"
+#include "workload/address_space.hh"
+#include "workload/builder.hh"
+#include "workload/workload.hh"
+
+namespace tss
+{
+namespace
+{
+
+/** Independent fixed-length tasks. */
+TaskTrace
+independentTasks(unsigned count, double runtime_us)
+{
+    TaskTrace trace;
+    trace.name = "flat";
+    trace.addKernel("k");
+    TaskBuilder b(trace);
+    AddressSpace mem;
+    for (unsigned i = 0; i < count; ++i) {
+        b.begin(0, defaultClock.usToCycles(runtime_us))
+            .out(mem.alloc(1024), 1024);
+        b.commit();
+    }
+    return trace;
+}
+
+TEST(SoftwareRuntime, DecodeRateBoundsSpeedup)
+{
+    // 700 ns decode, 14 us tasks: speedup saturates near
+    // T / decode = 20 regardless of core count.
+    TaskTrace trace = independentTasks(4000, 14.0);
+    for (unsigned cores : {64u, 128u, 256u}) {
+        SwRuntimeConfig cfg;
+        cfg.numCores = cores;
+        SwRunResult result = SoftwareRuntime(cfg, trace).run();
+        EXPECT_LT(result.speedup, 21.0) << cores;
+        EXPECT_GT(result.speedup, 17.0) << cores;
+    }
+}
+
+TEST(SoftwareRuntime, ScalesWithLongTasks)
+{
+    // 280 us tasks: 700 ns decode sustains 400 cores; with 64 cores
+    // the machine size is the limit.
+    TaskTrace trace = independentTasks(2000, 280.0);
+    SwRuntimeConfig cfg;
+    cfg.numCores = 64;
+    SwRunResult result = SoftwareRuntime(cfg, trace).run();
+    EXPECT_GT(result.speedup, 55.0);
+}
+
+TEST(SoftwareRuntime, FasterDecodeScalesFurther)
+{
+    TaskTrace trace = independentTasks(4000, 14.0);
+    SwRuntimeConfig slow;
+    slow.numCores = 256;
+    SwRuntimeConfig fast = slow;
+    fast.decodeCostCycles = defaultClock.nsToCycles(100.0);
+    double s_slow = SoftwareRuntime(slow, trace).run().speedup;
+    double s_fast = SoftwareRuntime(fast, trace).run().speedup;
+    EXPECT_GT(s_fast, 2.0 * s_slow);
+}
+
+TEST(SoftwareRuntime, RespectsDependencies)
+{
+    TaskTrace trace = genCholeskyBlocked(10, 4096, 3);
+    SwRuntimeConfig cfg;
+    cfg.numCores = 32;
+    SwRunResult result = SoftwareRuntime(cfg, trace).run();
+    ASSERT_EQ(result.numTasks, trace.size());
+    DepGraph graph = DepGraph::build(trace, Semantics::Renamed);
+    EXPECT_TRUE(graph.isTopologicalOrder(result.startOrder));
+}
+
+TEST(SoftwareRuntime, SerialChainGivesNoSpeedup)
+{
+    TaskTrace trace;
+    trace.name = "chain";
+    trace.addKernel("k");
+    TaskBuilder b(trace);
+    for (int i = 0; i < 50; ++i) {
+        b.begin(0, defaultClock.usToCycles(20.0)).inout(0xA000, 512);
+        b.commit();
+    }
+    SwRuntimeConfig cfg;
+    cfg.numCores = 64;
+    SwRunResult result = SoftwareRuntime(cfg, trace).run();
+    EXPECT_LT(result.speedup, 1.05);
+}
+
+TEST(SoftwareRuntime, InfiniteWindowFindsDistantParallelism)
+{
+    // Pairs of (long chain head + independent task) interleaved far
+    // apart: any bounded window would throttle; the software runtime
+    // must reach the decode-limited bound.
+    TaskTrace trace;
+    trace.name = "distant";
+    trace.addKernel("k");
+    TaskBuilder b(trace);
+    AddressSpace mem;
+    // A 40-deep serial chain of 100 us tasks...
+    for (int i = 0; i < 40; ++i) {
+        b.begin(0, defaultClock.usToCycles(100.0))
+            .inout(0xB000, 1024);
+        b.commit();
+        // ...with 50 independent tasks interleaved per link.
+        for (int j = 0; j < 50; ++j) {
+            b.begin(0, defaultClock.usToCycles(100.0))
+                .out(mem.alloc(1024), 1024);
+            b.commit();
+        }
+    }
+    SwRuntimeConfig cfg;
+    cfg.numCores = 256;
+    SwRunResult result = SoftwareRuntime(cfg, trace).run();
+    // Perfect: 2040 tasks / 40 chain steps = 51 parallel.
+    EXPECT_GT(result.speedup, 35.0);
+}
+
+} // namespace
+} // namespace tss

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Property test: every benchmark's generated trace survives a text
+ * serialization round trip bit-exactly, and the reloaded trace
+ * produces the identical dependency graph — the guarantee that lets
+ * traces be generated once and replayed across machines.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/dep_graph.hh"
+#include "trace/trace_io.hh"
+#include "workload/workload.hh"
+
+namespace tss
+{
+namespace
+{
+
+class TraceRoundTrip : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(TraceRoundTrip, TextFormatIsLossless)
+{
+    const WorkloadInfo *info = findWorkload(GetParam());
+    ASSERT_NE(info, nullptr);
+    WorkloadParams params;
+    params.scale = 0.05;
+    params.seed = 7;
+    TaskTrace original = info->generate(params);
+
+    std::stringstream ss;
+    writeTrace(ss, original);
+    TaskTrace copy = readTrace(ss);
+
+    ASSERT_EQ(copy.size(), original.size());
+    ASSERT_EQ(copy.kernelNames, original.kernelNames);
+    for (std::size_t t = 0; t < original.size(); ++t) {
+        const TraceTask &a = original.tasks[t];
+        const TraceTask &b = copy.tasks[t];
+        ASSERT_EQ(a.kernel, b.kernel) << t;
+        ASSERT_EQ(a.runtime, b.runtime) << t;
+        ASSERT_EQ(a.operands.size(), b.operands.size()) << t;
+        for (std::size_t i = 0; i < a.operands.size(); ++i) {
+            ASSERT_EQ(a.operands[i].dir, b.operands[i].dir);
+            ASSERT_EQ(a.operands[i].addr, b.operands[i].addr);
+            ASSERT_EQ(a.operands[i].bytes, b.operands[i].bytes);
+        }
+    }
+
+    // Identical dependency structure after the round trip.
+    DepGraph g1 = DepGraph::build(original, Semantics::Renamed);
+    DepGraph g2 = DepGraph::build(copy, Semantics::Renamed);
+    ASSERT_EQ(g1.numEdges(), g2.numEdges());
+    for (std::size_t e = 0; e < g1.numEdges(); ++e) {
+        EXPECT_TRUE(g1.allEdges()[e] == g2.allEdges()[e]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, TraceRoundTrip,
+    ::testing::Values("Cholesky", "MatMul", "FFT", "H264", "KMeans",
+                      "Knn", "PBPI", "SPECFEM", "STAP"),
+    [](const auto &param_info) {
+        return std::string(param_info.param);
+    });
+
+} // namespace
+} // namespace tss

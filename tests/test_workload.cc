@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Tests for the nine benchmark generators: Table I statistics (data
+ * size, runtime min/median/average, decode-rate limit), hardware
+ * limits (<= 19 operands), determinism, and per-benchmark structural
+ * properties (H264 wavefront, MatMul accumulation chains, ...).
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/dataflow_limit.hh"
+#include "graph/dep_graph.hh"
+#include "mem/block_layout.hh"
+#include "trace/trace_stats.hh"
+#include "workload/workload.hh"
+
+namespace tss
+{
+namespace
+{
+
+/** Table I reference values per benchmark. */
+struct TableOneRow
+{
+    const char *name;
+    double dataKB;
+    double minUs;
+    double medUs;
+    double avgUs;
+};
+
+constexpr TableOneRow tableOne[] = {
+    {"Cholesky", 47, 16, 33, 31},
+    {"MatMul", 48, 23, 23, 23},
+    {"FFT", 10, 13, 14, 26},
+    {"H264", 97, 2, 115, 130},
+    {"KMeans", 38, 24, 59, 55},
+    {"Knn", 10, 17, 107, 109},
+    {"PBPI", 32, 28, 29, 29},
+    {"SPECFEM", 770, 9, 14, 49},
+    {"STAP", 8, 1, 9, 28},
+};
+
+class WorkloadTableOne : public ::testing::TestWithParam<TableOneRow>
+{
+};
+
+TEST_P(WorkloadTableOne, MatchesPaperStatistics)
+{
+    const TableOneRow &row = GetParam();
+    const WorkloadInfo *info = findWorkload(row.name);
+    ASSERT_NE(info, nullptr);
+
+    WorkloadParams params;
+    params.scale = 0.3;
+    TaskTrace trace = info->generate(params);
+    ASSERT_GT(trace.size(), 100u);
+    TraceStats stats = TraceStats::compute(trace);
+
+    // Tolerances: runtimes within ~15% / 2 us, data within ~20%.
+    EXPECT_NEAR(stats.minRuntimeUs, row.minUs,
+                std::max(2.0, row.minUs * 0.15))
+        << row.name;
+    EXPECT_NEAR(stats.medRuntimeUs, row.medUs,
+                std::max(2.0, row.medUs * 0.15))
+        << row.name;
+    EXPECT_NEAR(stats.avgRuntimeUs, row.avgUs,
+                std::max(2.0, row.avgUs * 0.15))
+        << row.name;
+    EXPECT_NEAR(stats.avgDataKB, row.dataKB,
+                std::max(3.0, row.dataKB * 0.2))
+        << row.name;
+}
+
+TEST_P(WorkloadTableOne, RespectsHardwareLimits)
+{
+    const TableOneRow &row = GetParam();
+    const WorkloadInfo *info = findWorkload(row.name);
+    ASSERT_NE(info, nullptr);
+    WorkloadParams params;
+    params.scale = 0.2;
+    TaskTrace trace = info->generate(params);
+    for (const auto &task : trace.tasks) {
+        ASSERT_LE(task.operands.size(), layout::maxOperands);
+        ASSERT_GT(task.runtime, 0u);
+        for (const auto &op : task.operands) {
+            if (isMemoryOperand(op.dir)) {
+                ASSERT_NE(op.addr, 0u);
+                ASSERT_GT(op.bytes, 0u);
+            }
+        }
+    }
+}
+
+TEST_P(WorkloadTableOne, DeterministicForSeed)
+{
+    const TableOneRow &row = GetParam();
+    const WorkloadInfo *info = findWorkload(row.name);
+    WorkloadParams params;
+    params.scale = 0.1;
+    params.seed = 99;
+    TaskTrace a = info->generate(params);
+    TaskTrace b = info->generate(params);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t t = 0; t < a.size(); ++t) {
+        ASSERT_EQ(a.tasks[t].runtime, b.tasks[t].runtime);
+        ASSERT_EQ(a.tasks[t].operands.size(),
+                  b.tasks[t].operands.size());
+    }
+}
+
+TEST_P(WorkloadTableOne, ScaleGrowsTaskCount)
+{
+    const TableOneRow &row = GetParam();
+    const WorkloadInfo *info = findWorkload(row.name);
+    WorkloadParams small{1, 0.1};
+    WorkloadParams large{1, 0.6};
+    EXPECT_LT(info->generate(small).size(),
+              info->generate(large).size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WorkloadTableOne,
+                         ::testing::ValuesIn(tableOne),
+                         [](const auto &param_info) {
+                             return std::string(param_info.param.name);
+                         });
+
+TEST(WorkloadRegistry, HasAllNinePaperBenchmarks)
+{
+    EXPECT_EQ(allWorkloads().size(), 9u);
+    EXPECT_NE(findWorkload("Cholesky"), nullptr);
+    EXPECT_NE(findWorkload("STAP"), nullptr);
+    EXPECT_EQ(findWorkload("DoesNotExist"), nullptr);
+}
+
+TEST(WorkloadCholesky, TaskCountFormula)
+{
+    // n potrf + n(n-1)/2 trsm + n(n-1)/2 syrk + sum j(n-1-j) gemm.
+    for (unsigned n : {4u, 8u, 13u}) {
+        TaskTrace trace = genCholeskyBlocked(n, 1024, 1);
+        std::size_t gemm = 0;
+        for (unsigned j = 0; j < n; ++j)
+            gemm += j * (n - 1 - j);
+        std::size_t expected = n + n * (n - 1) + gemm;
+        EXPECT_EQ(trace.size(), expected) << "n=" << n;
+    }
+}
+
+TEST(WorkloadCholesky, AverageRowMatchesPaperAverages)
+{
+    // The cross-benchmark averages of Table I: shortest tasks avg
+    // ~15 us => 58 ns/task decode target.
+    double min_sum = 0;
+    for (const auto &info : allWorkloads()) {
+        WorkloadParams params;
+        params.scale = 0.2;
+        min_sum += TraceStats::compute(info.generate(params))
+                       .minRuntimeUs;
+    }
+    double avg_min = min_sum / 9.0;
+    EXPECT_NEAR(avg_min, 15.0, 1.5);
+    EXPECT_NEAR(avg_min * 1000.0 / 256, 58.0, 6.0);
+}
+
+TEST(WorkloadMatMul, AccumulationChains)
+{
+    TaskTrace trace = genMatMulBlocked(4, 1024, 1);
+    ASSERT_EQ(trace.size(), 64u);
+    DepGraph g = DepGraph::build(trace, Semantics::Renamed);
+    // Each C block forms a 4-long inout chain: critical path 4 tasks;
+    // 16 independent chains.
+    DataflowSchedule sched = computeDataflowLimit(trace, g);
+    EXPECT_DOUBLE_EQ(sched.parallelism(), 16.0);
+}
+
+TEST(WorkloadH264, WavefrontAndInterFrameDependencies)
+{
+    TaskTrace trace = genH264Grid(6, 4, 2, 1);
+    DepGraph g = DepGraph::build(trace, Semantics::Renamed);
+
+    // Task layout: [parse][24 blocks][parse][24 blocks].
+    auto block = [&](unsigned x, unsigned y, unsigned f) {
+        return 1 + f * 25 + y * 6 + x;
+    };
+    // Wavefront: (1,1) depends on W, NW, N, NE.
+    EXPECT_TRUE(g.hasEdge(block(0, 1, 0), block(1, 1, 0)));
+    EXPECT_TRUE(g.hasEdge(block(0, 0, 0), block(1, 1, 0)));
+    EXPECT_TRUE(g.hasEdge(block(1, 0, 0), block(1, 1, 0)));
+    EXPECT_TRUE(g.hasEdge(block(2, 0, 0), block(1, 1, 0)));
+    // Inter-frame reference: colocated block of frame 0.
+    EXPECT_TRUE(g.hasEdge(block(2, 2, 0), block(2, 2, 1)));
+    // Parse feeds the frame through its first block.
+    EXPECT_TRUE(g.hasEdge(0, block(0, 0, 0)));
+
+    // Interior blocks of non-first frames exceed 6 memory operands;
+    // this tiny 6x4x2 grid is mostly borders.
+    std::size_t many = 0;
+    for (const auto &task : trace.tasks)
+        many += task.numMemoryOperands() > 6 ? 1 : 0;
+    EXPECT_GT(static_cast<double>(many) / trace.size(), 0.2);
+}
+
+TEST(WorkloadH264, LargeGridOperandFraction)
+{
+    // The paper's clip: ~94% of H264 tasks have more than 6 operands
+    // (Figure 12 discussion). Holds for a paper-sized 30-frame clip.
+    TaskTrace trace = genH264Grid(50, 40, 30, 1);
+    std::size_t many = 0;
+    for (const auto &task : trace.tasks)
+        many += task.numMemoryOperands() > 6 ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(many) / trace.size(), 0.94, 0.02);
+}
+
+TEST(WorkloadStap, IngestSerializesCpis)
+{
+    WorkloadParams params;
+    params.scale = 0.1;
+    TaskTrace trace = genStap(params);
+    DepGraph g = DepGraph::build(trace, Semantics::Renamed);
+    // The ingest FIFO is an inout chain: with infinite resources the
+    // makespan is at least #CPIs * ingest runtime.
+    DataflowSchedule sched = computeDataflowLimit(trace, g);
+    EXPECT_LT(sched.parallelism(), 300.0);
+    EXPECT_GT(sched.parallelism(), 40.0);
+}
+
+TEST(WorkloadSpecfem, StencilNeighborDependencies)
+{
+    WorkloadParams params;
+    params.scale = 0.1;
+    TaskTrace trace = genSpecfem(params);
+    DepGraph g = DepGraph::build(trace, Semantics::Renamed);
+    // Every task depends on something within two steps (tightly
+    // coupled stencil): just check the graph is connected enough.
+    EXPECT_GT(g.numEdges(), trace.size());
+}
+
+} // namespace
+} // namespace tss
