@@ -12,6 +12,7 @@
 #include "core/pipeline.hh"
 #include "graph/dep_graph.hh"
 #include "mem/free_list.hh"
+#include "noc/message_pool.hh"
 #include "sim/event_queue.hh"
 #include "workload/workload.hh"
 
@@ -34,6 +35,76 @@ BM_EventQueueScheduleStep(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(BM_EventQueueScheduleStep);
+
+/**
+ * Allocation accounting for the pooled kernel: run a full pipeline
+ * simulation and report how many fresh chunks the event/message pools
+ * requested from the global allocator versus how many messages and
+ * events were recycled. Steady state must be all reuse:
+ * `msg_fresh_per_kmsg` counts fresh chunks per 1000 NoC messages and
+ * approaches zero as the pool warms (the seed allocated every message
+ * and large event closure from the heap individually).
+ */
+void
+BM_PipelineAllocationCounts(benchmark::State &state)
+{
+    tss::TaskTrace trace = tss::genCholeskyBlocked(10, 16 * 1024, 1);
+    auto &msg_pool = tss::MessagePool::local();
+    auto &ev_pool = tss::EventCallback::pool();
+    std::uint64_t messages = 0, events = 0;
+    std::uint64_t msg_fresh0 = msg_pool.stats().fresh;
+    std::uint64_t msg_reuse0 = msg_pool.stats().reused;
+    std::uint64_t ev_fresh0 = ev_pool.stats().fresh;
+    for (auto _ : state) {
+        tss::PipelineConfig cfg;
+        cfg.numCores = 32;
+        tss::Pipeline pipe(cfg, trace);
+        tss::RunResult result = pipe.run();
+        messages += result.messagesOnNoc;
+        events += result.eventsExecuted;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+    state.counters["noc_messages"] =
+        benchmark::Counter(static_cast<double>(messages));
+    state.counters["msg_fresh_chunks"] = benchmark::Counter(
+        static_cast<double>(msg_pool.stats().fresh - msg_fresh0));
+    state.counters["msg_reused_chunks"] = benchmark::Counter(
+        static_cast<double>(msg_pool.stats().reused - msg_reuse0));
+    state.counters["event_fresh_chunks"] = benchmark::Counter(
+        static_cast<double>(ev_pool.stats().fresh - ev_fresh0));
+    state.counters["msg_fresh_per_kmsg"] = benchmark::Counter(
+        messages == 0
+            ? 0
+            : 1000.0 *
+                static_cast<double>(msg_pool.stats().fresh - msg_fresh0) /
+                static_cast<double>(messages));
+}
+BENCHMARK(BM_PipelineAllocationCounts)->Unit(benchmark::kMillisecond);
+
+/** Pure message-pool churn: allocate/free protocol messages. */
+void
+BM_MessagePoolChurn(benchmark::State &state)
+{
+    auto &pool = tss::MessagePool::local();
+    std::uint64_t fresh0 = pool.stats().fresh;
+    std::uint64_t reused0 = pool.stats().reused;
+    for (auto _ : state) {
+        auto a = std::make_unique<tss::DataReadyMsg>(
+            tss::OperandId{}, tss::ReadySide::Input, 0);
+        auto b = std::make_unique<tss::OperandInfoMsg>(
+            tss::OperandId{}, tss::Dir::In, 512, tss::VersionRef{},
+            tss::OperandId{}, false, 0);
+        benchmark::DoNotOptimize(a.get());
+        benchmark::DoNotOptimize(b.get());
+    }
+    state.SetItemsProcessed(state.iterations() * 2);
+    std::uint64_t fresh = pool.stats().fresh - fresh0;
+    std::uint64_t reused = pool.stats().reused - reused0;
+    state.counters["reuse_ratio"] = benchmark::Counter(
+        static_cast<double>(reused) /
+        static_cast<double>(std::max<std::uint64_t>(1, reused + fresh)));
+}
+BENCHMARK(BM_MessagePoolChurn);
 
 void
 BM_BlockFreeListChurn(benchmark::State &state)

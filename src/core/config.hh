@@ -20,9 +20,14 @@ struct PipelineConfig
 {
     /// @name Frontend structure (paper section VI-A's chosen design
     /// point: 8 TRSs and 2 ORT/OVT pairs suffice for 256 cores).
+    /// numTrs/numOrt count instances *per pipeline*; numPipelines
+    /// replicates the whole frontend (gateway + TRSs + ORT/OVT pairs)
+    /// for the paper's multiple task-generating threads (section
+    /// III-B), which requires the threads' data to be partitioned.
     /// @{
     unsigned numTrs = 8;
     unsigned numOrt = 2; ///< ORT/OVT pairs (each OVT serves one ORT)
+    unsigned numPipelines = 1; ///< independent frontend pipelines
     /// @}
 
     /// @name Storage capacities (totals across all instances).
@@ -90,12 +95,15 @@ struct PipelineConfig
     Bytes renameRegionBytes = Bytes(1) << 32; ///< OS-assigned space
     /// @}
 
-    /** TRS storage blocks per TRS instance. */
+    /** TRS storage blocks per TRS instance. The configured byte
+     *  totals are machine-wide: they divide across all instances of
+     *  all pipelines, so varying numPipelines holds storage constant
+     *  (iso-capacity comparisons stay honest). */
     std::uint32_t
     blocksPerTrs() const
     {
         return static_cast<std::uint32_t>(
-            trsTotalBytes / numTrs / layout::blockBytes);
+            trsTotalBytes / totalTrs() / layout::blockBytes);
     }
 
     /** ORT object entries per ORT instance. */
@@ -103,7 +111,7 @@ struct PipelineConfig
     entriesPerOrt() const
     {
         return static_cast<std::uint32_t>(
-            ortTotalBytes / numOrt / ortEntryBytes);
+            ortTotalBytes / totalOrt() / ortEntryBytes);
     }
 
     /** OVT version slots per OVT instance. */
@@ -111,26 +119,58 @@ struct PipelineConfig
     slotsPerOvt() const
     {
         return static_cast<std::uint32_t>(
-            ovtTotalBytes / numOrt / ovtEntryBytes);
+            ovtTotalBytes / totalOrt() / ovtEntryBytes);
+    }
+
+    /// @name Totals across all pipelines (the global module index
+    /// spaces used by TaskId.trs and VersionRef.ovt).
+    /// @{
+    unsigned totalTrs() const { return numPipelines * numTrs; }
+    unsigned totalOrt() const { return numPipelines * numOrt; }
+    /// @}
+
+    /** NoC tiles occupied by one frontend pipeline. */
+    unsigned
+    pipelineSpan() const
+    {
+        return 1 + numTrs + 2 * numOrt;
     }
 
     /**
-     * NoC tiles used by the frontend: the gateway, the TRSs, the
-     * ORT/OVT pairs, and the task scheduler (backend queuing system).
+     * NoC tiles used by the frontend: per pipeline a gateway, the
+     * TRSs and the ORT/OVT pairs, plus one shared task scheduler
+     * (backend queuing system).
      */
     unsigned
     frontendTiles() const
     {
-        return 2 + numTrs + 2 * numOrt;
+        return numPipelines * pipelineSpan() + 1;
     }
 
-    /// @name Frontend tile indices on the NoC.
+    /// @name Frontend tile indices on the NoC. @p pipe selects the
+    /// pipeline; the default reproduces the single-pipeline layout.
     /// @{
-    unsigned gatewayTile() const { return 0; }
-    unsigned trsTile(unsigned i) const { return 1 + i; }
-    unsigned ortTile(unsigned i) const { return 1 + numTrs + i; }
-    unsigned ovtTile(unsigned i) const { return 1 + numTrs + numOrt + i; }
-    unsigned schedulerTile() const { return 1 + numTrs + 2 * numOrt; }
+    unsigned
+    gatewayTile(unsigned pipe = 0) const
+    {
+        return pipe * pipelineSpan();
+    }
+    unsigned
+    trsTile(unsigned i, unsigned pipe = 0) const
+    {
+        return pipe * pipelineSpan() + 1 + i;
+    }
+    unsigned
+    ortTile(unsigned i, unsigned pipe = 0) const
+    {
+        return pipe * pipelineSpan() + 1 + numTrs + i;
+    }
+    unsigned
+    ovtTile(unsigned i, unsigned pipe = 0) const
+    {
+        return pipe * pipelineSpan() + 1 + numTrs + numOrt + i;
+    }
+    unsigned schedulerTile() const { return numPipelines * pipelineSpan(); }
     /// @}
 };
 

@@ -76,7 +76,7 @@ Gateway::tryAlloc()
                     task.traceIndex,
                     static_cast<unsigned>(tt.operands.size()));
                 req->src = node;
-                req->dst = trsNodes[trs];
+                req->dst = trsNodes[trsBase + trs];
                 net.send(std::move(req));
                 if (allocWaiting) {
                     allocWaiting = false;
@@ -195,7 +195,10 @@ Gateway::workLoop()
           }
           case MsgType::TrsSpace: {
             auto &space = static_cast<TrsSpaceMsg &>(*msg);
-            trsFree[space.trs] += space.freedBlocks;
+            TSS_ASSERT(space.trs >= trsBase &&
+                           space.trs < trsBase + cfg.numTrs,
+                       "TRS space credit for a foreign pipeline");
+            trsFree[space.trs - trsBase] += space.freedBlocks;
             break;
           }
           case MsgType::GatewayStall:

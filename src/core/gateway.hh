@@ -29,13 +29,22 @@ class Gateway : public SimObject, public Endpoint
             NodeId node, const PipelineConfig &config,
             TaskRegistry &task_registry, FrontendStats &frontend_stats);
 
+    /**
+     * Wire the gateway to its peers. @p trs_nodes is the *global*
+     * TRS node table (indexed by TaskId::trs); this gateway allocates
+     * only from the cfg.numTrs entries starting at @p trs_base — its
+     * own pipeline's slice. @p ort_nodes holds just this pipeline's
+     * ORTs (operand hashing is pipeline-local).
+     */
     void
     setPeers(std::vector<NodeId> trs_nodes,
-             std::vector<NodeId> ort_nodes, unsigned num_threads = 1)
+             std::vector<NodeId> ort_nodes, unsigned num_threads = 1,
+             unsigned trs_base = 0)
     {
         trsNodes = std::move(trs_nodes);
         ortNodes = std::move(ort_nodes);
         numThreads = num_threads;
+        trsBase = trs_base;
     }
 
     void receive(MessagePtr msg) override;
@@ -95,6 +104,7 @@ class Gateway : public SimObject, public Endpoint
 
     std::vector<NodeId> trsNodes;
     std::vector<NodeId> ortNodes;
+    unsigned trsBase = 0; ///< first owned entry in the global table
     unsigned numThreads = 1;
     unsigned nextThreadRr = 0; ///< fairness over generating threads
 

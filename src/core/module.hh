@@ -170,13 +170,12 @@ class FrontendModule : public SimObject, public Endpoint
     {
         if (outbox.empty())
             return;
-        auto batch = std::make_shared<
-            std::vector<std::unique_ptr<ProtoMsg>>>(std::move(outbox));
+        eventQueue().schedule(
+            when, [this, batch = std::move(outbox)]() mutable {
+                for (auto &m : batch)
+                    net.send(MessagePtr(m.release()));
+            });
         outbox.clear();
-        eventQueue().schedule(when, [this, batch] {
-            for (auto &m : *batch)
-                net.send(MessagePtr(m.release()));
-        });
     }
 
     Network &net;

@@ -1,9 +1,10 @@
 /**
  * @file
- * Top-level task superscalar multiprocessor: wires the frontend tiles
- * (gateway, TRSs, ORT/OVT pairs), the backend (scheduler + worker
- * cores), the task-generating thread, and the two-level ring NoC, and
- * runs a task trace to completion.
+ * Single-pipeline facade over the composed System. Historically
+ * Pipeline built the whole machine itself; construction now lives in
+ * SystemBuilder (core/system.hh) so that multi-pipeline
+ * configurations are a config choice, and Pipeline remains as the
+ * stable convenience API used by the tests, benches and examples.
  */
 
 #ifndef TSS_CORE_PIPELINE_HH
@@ -12,62 +13,10 @@
 #include <memory>
 #include <vector>
 
-#include "backend/scheduler.hh"
-#include "backend/worker.hh"
-#include "core/config.hh"
-#include "core/gateway.hh"
-#include "core/ort.hh"
-#include "core/ovt.hh"
-#include "core/task_source.hh"
-#include "core/trs.hh"
-#include "mem/dma_engine.hh"
-#include "noc/ring.hh"
+#include "core/system.hh"
 
 namespace tss
 {
-
-/** Aggregated results of one simulated run. */
-struct RunResult
-{
-    std::size_t numTasks = 0;
-    Cycle makespan = 0;       ///< last task finish time
-    Cycle sequential = 0;     ///< sum of task runtimes
-    double speedup = 0;
-
-    /// Average cycles between successive additions to the task graph
-    /// (the paper's decode-rate metric, Figures 12/13).
-    double decodeRateCycles = 0;
-    double decodeRateNs = 0;
-
-    double avgTasksInFlight = 0; ///< window occupancy
-    double peakTasksInFlight = 0;
-
-    Cycle gatewayStallCycles = 0; ///< ORT-full stalls
-    Cycle allocWaitCycles = 0;    ///< TRS-window-full waits
-    Cycle sourceStallCycles = 0;  ///< thread blocked on the buffer
-
-    double chainP95 = 0;          ///< 95th pct consumer chain length
-    double chainMax = 0;
-    double avgFragmentation = 0;  ///< TRS allocation waste fraction
-    double sramHitRate = 1.0;     ///< 1-cycle block allocations
-
-    std::uint64_t versionsCreated = 0;
-    std::uint64_t versionsRenamed = 0;
-    std::uint64_t dmaWritebacks = 0;
-    std::uint64_t messagesOnNoc = 0;
-    std::uint64_t eventsExecuted = 0;
-
-    /** Trace indices ordered by execution start time. */
-    std::vector<std::uint32_t> startOrder;
-};
-
-/**
- * True when no memory object is touched by tasks of two different
- * threads — the paper's data-partitioning requirement for multiple
- * task-generating threads (section III-B).
- */
-bool isDataPartitioned(const TaskTrace &trace,
-                       const std::vector<unsigned> &thread_of);
 
 /** A complete simulated task superscalar system. */
 class Pipeline
@@ -93,46 +42,38 @@ class Pipeline
      * Run to completion.
      * @param max_events Safety valve against runaway simulations.
      */
-    RunResult run(std::uint64_t max_events = ~std::uint64_t(0));
+    RunResult
+    run(std::uint64_t max_events = ~std::uint64_t(0))
+    {
+        return sys->run(max_events);
+    }
 
     /**
      * Write a per-module utilization report (packets serviced, busy
      * fraction, queue depths, NoC traffic) to @p os. Call after
      * run().
      */
-    void dumpStats(std::ostream &os) const;
+    void dumpStats(std::ostream &os) const { sys->dumpStats(os); }
+
+    /** The underlying composed machine. */
+    System &system() { return *sys; }
 
     /// @name Introspection for tests.
     /// @{
-    const PipelineConfig &config() const { return cfg; }
-    EventQueue &eventQueue() { return eq; }
-    TaskRegistry &taskRegistry() { return registry; }
-    FrontendStats &frontendStats() { return stats; }
-    Gateway &gateway() { return *gw; }
-    Trs &trs(unsigned i) { return *trsModules[i]; }
-    Ort &ort(unsigned i) { return *ortModules[i]; }
-    Ovt &ovt(unsigned i) { return *ovtModules[i]; }
-    Scheduler &scheduler() { return *sched; }
-    RingNetwork &network() { return *net; }
+    const PipelineConfig &config() const { return sys->config(); }
+    EventQueue &eventQueue() { return sys->eventQueue(); }
+    TaskRegistry &taskRegistry() { return sys->taskRegistry(); }
+    FrontendStats &frontendStats() { return sys->frontendStats(); }
+    Gateway &gateway() { return sys->gateway(0); }
+    Trs &trs(unsigned i) { return sys->trs(i); }
+    Ort &ort(unsigned i) { return sys->ort(i); }
+    Ovt &ovt(unsigned i) { return sys->ovt(i); }
+    Scheduler &scheduler() { return sys->scheduler(); }
+    RingNetwork &network() { return sys->network(); }
     /// @}
 
   private:
-    PipelineConfig cfg;
-    const TaskTrace &trace;
-
-    EventQueue eq;
-    TaskRegistry registry;
-    FrontendStats stats;
-
-    std::unique_ptr<RingNetwork> net;
-    std::unique_ptr<DmaEngine> dma;
-    std::unique_ptr<Gateway> gw;
-    std::vector<std::unique_ptr<TaskSource>> sources;
-    std::unique_ptr<Scheduler> sched;
-    std::vector<std::unique_ptr<Trs>> trsModules;
-    std::vector<std::unique_ptr<Ort>> ortModules;
-    std::vector<std::unique_ptr<Ovt>> ovtModules;
-    std::vector<std::unique_ptr<WorkerCore>> workers;
+    std::unique_ptr<System> sys;
 };
 
 } // namespace tss

@@ -1,0 +1,314 @@
+#include "system.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <numeric>
+#include <ostream>
+#include <unordered_map>
+
+namespace tss
+{
+
+bool
+isDataPartitioned(const TaskTrace &trace,
+                  const std::vector<unsigned> &thread_of)
+{
+    std::unordered_map<std::uint64_t, unsigned> owner;
+    for (std::size_t t = 0; t < trace.size(); ++t) {
+        for (const auto &op : trace.tasks[t].operands) {
+            if (!isMemoryOperand(op.dir))
+                continue;
+            auto [it, inserted] = owner.emplace(op.addr, thread_of[t]);
+            if (!inserted && it->second != thread_of[t])
+                return false;
+        }
+    }
+    return true;
+}
+
+std::unique_ptr<System>
+SystemBuilder::build()
+{
+    if (threadOf.empty())
+        threadOf.assign(trace.size(), 0);
+    if (threadOf.size() != trace.size())
+        fatal("thread assignment size does not match the trace");
+    unsigned num_threads = 1;
+    for (unsigned t : threadOf)
+        num_threads = std::max(num_threads, t + 1);
+    if (num_threads > 1 && !isDataPartitioned(trace, threadOf)) {
+        fatal("multiple task-generating threads require partitioned "
+              "data (paper section III-B)");
+    }
+    // Sanity-check the trace against the hardware limits.
+    for (const auto &task : trace.tasks) {
+        if (task.operands.size() > layout::maxOperands) {
+            fatal("task with %zu operands exceeds the %u-operand "
+                  "TRS layout", task.operands.size(),
+                  layout::maxOperands);
+        }
+    }
+    unsigned max_blocks = layout::blocksForOperands(layout::maxOperands);
+    if (cfg.blocksPerTrs() < max_blocks)
+        fatal("TRS capacity below a single maximal task allocation");
+    if (cfg.numTrs == 0 || cfg.numOrt == 0 || cfg.numCores == 0)
+        fatal("pipeline needs at least one TRS, ORT and core");
+    if (cfg.numPipelines == 0)
+        fatal("system needs at least one frontend pipeline");
+
+    // Threads feed pipelines round-robin; a thread's id within its
+    // gateway must be dense for the gateway's fairness rotation.
+    unsigned pipes = cfg.numPipelines;
+    std::vector<unsigned> threads_in_pipe(pipes, 0);
+    for (unsigned t = 0; t < num_threads; ++t)
+        ++threads_in_pipe[t % pipes];
+
+    auto sys = std::unique_ptr<System>(new System(cfg, trace));
+    // Modules keep a reference to the config: hand them the copy the
+    // System owns, not this builder's (which dies with the builder).
+    const PipelineConfig &scfg = sys->cfg;
+
+    // NoC: worker cores plus one master core per task-generating
+    // thread; frontend tiles carry the gateways, TRSs, ORT/OVT pairs
+    // and the shared scheduler.
+    RingParams ring;
+    ring.numCores = cfg.numCores + num_threads;
+    ring.numFrontendTiles = cfg.frontendTiles();
+    sys->net = std::make_unique<RingNetwork>("noc", sys->eq, ring);
+    RingNetwork &net = *sys->net;
+
+    sys->dma = std::make_unique<DmaEngine>("dma", sys->eq);
+
+    NodeId sched_node = net.frontendNode(cfg.schedulerTile());
+
+    // Global node tables: TaskId::trs and VersionRef::ovt index
+    // modules across all pipelines.
+    std::vector<NodeId> gw_nodes;
+    std::vector<NodeId> trs_nodes;
+    std::vector<NodeId> ovt_nodes;
+    for (unsigned p = 0; p < pipes; ++p) {
+        gw_nodes.push_back(net.frontendNode(cfg.gatewayTile(p)));
+        for (unsigned i = 0; i < cfg.numTrs; ++i)
+            trs_nodes.push_back(net.frontendNode(cfg.trsTile(i, p)));
+        for (unsigned i = 0; i < cfg.numOrt; ++i)
+            ovt_nodes.push_back(net.frontendNode(cfg.ovtTile(i, p)));
+    }
+
+    for (unsigned p = 0; p < pipes; ++p) {
+        std::vector<NodeId> ort_nodes;
+        for (unsigned i = 0; i < cfg.numOrt; ++i)
+            ort_nodes.push_back(net.frontendNode(cfg.ortTile(i, p)));
+
+        std::string suffix = pipes > 1 ? "p" + std::to_string(p) : "";
+        auto gw = std::make_unique<Gateway>(
+            "gateway" + suffix, sys->eq, net, gw_nodes[p], scfg,
+            sys->registry, sys->stats);
+        gw->setPeers(trs_nodes, ort_nodes,
+                     std::max(1u, threads_in_pipe[p]), p * cfg.numTrs);
+        sys->gateways.push_back(std::move(gw));
+
+        for (unsigned i = 0; i < cfg.numTrs; ++i) {
+            unsigned g = p * cfg.numTrs + i;
+            auto trs = std::make_unique<Trs>(
+                "trs" + std::to_string(g), sys->eq, net, trs_nodes[g],
+                g, scfg, sys->registry, sys->stats);
+            trs->setPeers(gw_nodes[p], sched_node, trs_nodes,
+                          ovt_nodes);
+            sys->trsModules.push_back(std::move(trs));
+        }
+
+        for (unsigned i = 0; i < cfg.numOrt; ++i) {
+            unsigned g = p * cfg.numOrt + i;
+            auto ort = std::make_unique<Ort>(
+                "ort" + std::to_string(g), sys->eq, net, ort_nodes[i],
+                g, scfg, sys->stats);
+            ort->setPeers(gw_nodes[p], trs_nodes, ovt_nodes[g]);
+            sys->ortModules.push_back(std::move(ort));
+
+            auto ovt = std::make_unique<Ovt>(
+                "ovt" + std::to_string(g), sys->eq, net, ovt_nodes[g],
+                g, scfg, sys->stats, *sys->dma);
+            ovt->setPeers(ort_nodes[i], trs_nodes);
+            sys->ovtModules.push_back(std::move(ovt));
+        }
+    }
+
+    // One task-generating thread per master core, each emitting its
+    // subsequence of the trace with a share of its gateway's buffer.
+    // Shares are exact (remainder spread over the first threads): the
+    // credits handed out never exceed the buffer, so the gateway's
+    // overflow assertion cannot trip no matter how many threads feed
+    // one pipeline.
+    for (unsigned p = 0; p < pipes; ++p) {
+        if (threads_in_pipe[p] > cfg.gatewayBufferTasks) {
+            fatal("gateway buffer (%u tasks) too small for %u "
+                  "generating threads on pipeline %u; increase "
+                  "gatewayBufferTasks or numPipelines",
+                  cfg.gatewayBufferTasks, threads_in_pipe[p], p);
+        }
+    }
+    for (unsigned thread = 0; thread < num_threads; ++thread) {
+        unsigned pipe = thread % pipes;
+        unsigned local = thread / pipes;
+        unsigned share_base =
+            cfg.gatewayBufferTasks / threads_in_pipe[pipe];
+        unsigned share_rem =
+            cfg.gatewayBufferTasks % threads_in_pipe[pipe];
+        unsigned credit_share = share_base + (local < share_rem ? 1 : 0);
+        std::vector<std::uint32_t> indices;
+        for (std::uint32_t t = 0;
+             t < static_cast<std::uint32_t>(trace.size()); ++t) {
+            if (threadOf[t] == thread)
+                indices.push_back(t);
+        }
+        auto source = std::make_unique<TaskSource>(
+            "source" + std::to_string(thread), sys->eq, net,
+            net.coreNode(thread), scfg, sys->registry, sys->stats,
+            std::move(indices), thread / pipes, credit_share);
+        source->setGateway(gw_nodes[pipe]);
+        sys->sources.push_back(std::move(source));
+    }
+
+    sys->sched = std::make_unique<Scheduler>("scheduler", sys->eq, net,
+                                             sched_node, scfg);
+
+    std::vector<NodeId> worker_nodes;
+    for (unsigned c = 0; c < cfg.numCores; ++c) {
+        NodeId node = net.coreNode(c + num_threads);
+        worker_nodes.push_back(node);
+        auto worker = std::make_unique<WorkerCore>(
+            "core" + std::to_string(c), sys->eq, net, node, c, scfg,
+            sys->registry);
+        worker->setPeers(sched_node, trs_nodes);
+        sys->workers.push_back(std::move(worker));
+    }
+    sys->sched->setWorkers(worker_nodes);
+
+    return sys;
+}
+
+RunResult
+System::run(std::uint64_t max_events)
+{
+    for (auto &source : sources)
+        source->start();
+    eq.run(max_events);
+
+    bool all_done = true;
+    for (auto &source : sources)
+        all_done &= source->done();
+    if (!all_done ||
+        stats.tasksFinished.value() != trace.size()) {
+        fatal("simulation ended early: %zu/%zu tasks finished "
+              "(deadlock or event limit)",
+              static_cast<std::size_t>(stats.tasksFinished.value()),
+              trace.size());
+    }
+
+    RunResult result;
+    result.numTasks = trace.size();
+    result.sequential = trace.sequentialCycles();
+    result.eventsExecuted = eq.executed();
+    result.messagesOnNoc = net->messagesSent();
+
+    // Makespan and the execution order, from the per-task records.
+    std::vector<Cycle> decode_times;
+    decode_times.reserve(trace.size());
+    std::vector<std::uint32_t> order(trace.size());
+    std::iota(order.begin(), order.end(), 0);
+    const auto &records = registry.allRecords();
+    for (const auto &rec : records) {
+        result.makespan = std::max(result.makespan, rec.finished);
+        if (rec.decodeDone != invalidCycle)
+            decode_times.push_back(rec.decodeDone);
+    }
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  if (records[a].started != records[b].started)
+                      return records[a].started < records[b].started;
+                  return a < b;
+              });
+    result.startOrder = std::move(order);
+
+    if (result.makespan > 0) {
+        result.speedup = static_cast<double>(result.sequential) /
+            static_cast<double>(result.makespan);
+    }
+
+    // Decode rate: average distance between successive additions to
+    // the task graph.
+    if (decode_times.size() > 1) {
+        auto [mn, mx] = std::minmax_element(decode_times.begin(),
+                                            decode_times.end());
+        result.decodeRateCycles = static_cast<double>(*mx - *mn) /
+            static_cast<double>(decode_times.size() - 1);
+        result.decodeRateNs =
+            defaultClock.cyclesToNs(1) * result.decodeRateCycles;
+    }
+
+    result.avgTasksInFlight =
+        stats.tasksInFlight.average(result.makespan);
+    result.peakTasksInFlight = stats.tasksInFlight.maximum();
+    result.gatewayStallCycles = stats.gatewayStallCycles;
+    for (const auto &gw : gateways)
+        result.allocWaitCycles += gw->allocWaitCycles();
+    result.sourceStallCycles = stats.sourceStallCycles;
+    result.chainP95 = stats.chainConsumers.percentile(95);
+    result.chainMax = stats.chainConsumers.max();
+    result.avgFragmentation = stats.fragmentation.mean();
+    result.versionsCreated = stats.versionsCreated.value();
+    result.versionsRenamed = stats.versionsRenamed.value();
+    result.dmaWritebacks = stats.dmaWritebacks.value();
+
+    double hits = 0;
+    for (const auto &trs : trsModules)
+        hits += trs->blockList().sramHitRate();
+    result.sramHitRate =
+        hits / static_cast<double>(trsModules.size());
+
+    return result;
+}
+
+void
+System::dumpStats(std::ostream &os) const
+{
+    Cycle now = eq.now();
+    auto line = [&](const std::string &name, const FrontendModule &m) {
+        double busy = now == 0
+            ? 0 : 100.0 * static_cast<double>(m.busyCycles()) /
+                  static_cast<double>(now);
+        os << "  " << std::left << std::setw(12) << name
+           << " packets " << std::setw(10) << m.packetsProcessed()
+           << " busy " << std::fixed << std::setprecision(1) << busy
+           << "%  avg queue " << std::setprecision(2)
+           << m.avgQueueLength(now) << "\n";
+    };
+
+    os << "module utilization (over " << now << " cycles):\n";
+    for (std::size_t i = 0; i < trsModules.size(); ++i)
+        line("trs" + std::to_string(i), *trsModules[i]);
+    for (std::size_t i = 0; i < ortModules.size(); ++i)
+        line("ort" + std::to_string(i), *ortModules[i]);
+    for (std::size_t i = 0; i < ovtModules.size(); ++i)
+        line("ovt" + std::to_string(i), *ovtModules[i]);
+    line("scheduler", *sched);
+
+    os << "NoC: " << net->messagesSent() << " messages, latency mean "
+       << std::setprecision(1) << net->latencyStat().mean()
+       << " cy (p95 " << net->latencyStat().percentile(95)
+       << ", max " << net->latencyStat().max() << ")\n";
+    os << "DMA: " << dma->numTransfers() << " write-backs, "
+       << dma->totalBytes() / 1024 << " KB\n";
+
+    double core_busy = 0;
+    for (const auto &worker : workers)
+        core_busy += static_cast<double>(worker->busyCycles());
+    if (now > 0 && !workers.empty()) {
+        core_busy /= static_cast<double>(now) *
+            static_cast<double>(workers.size());
+        os << "cores: " << std::setprecision(1) << core_busy * 100.0
+           << "% average utilization\n";
+    }
+}
+
+} // namespace tss

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * The composed task superscalar system. SystemBuilder assembles any
+ * number of independent frontend pipelines (gateway + TRSs + ORT/OVT
+ * pairs, paper section III-B's multi-threaded generation) plus the
+ * shared backend (scheduler, worker cores), the two-level ring NoC
+ * and the task-generating threads, all from a PipelineConfig. System
+ * owns the assembled machine and runs traces to completion.
+ */
+
+#ifndef TSS_CORE_SYSTEM_HH
+#define TSS_CORE_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "backend/scheduler.hh"
+#include "backend/worker.hh"
+#include "core/config.hh"
+#include "core/gateway.hh"
+#include "core/ort.hh"
+#include "core/ovt.hh"
+#include "core/task_source.hh"
+#include "core/trs.hh"
+#include "mem/dma_engine.hh"
+#include "noc/ring.hh"
+
+namespace tss
+{
+
+/** Aggregated results of one simulated run. */
+struct RunResult
+{
+    std::size_t numTasks = 0;
+    Cycle makespan = 0;       ///< last task finish time
+    Cycle sequential = 0;     ///< sum of task runtimes
+    double speedup = 0;
+
+    /// Average cycles between successive additions to the task graph
+    /// (the paper's decode-rate metric, Figures 12/13).
+    double decodeRateCycles = 0;
+    double decodeRateNs = 0;
+
+    double avgTasksInFlight = 0; ///< window occupancy
+    double peakTasksInFlight = 0;
+
+    Cycle gatewayStallCycles = 0; ///< ORT-full stalls
+    Cycle allocWaitCycles = 0;    ///< TRS-window-full waits
+    Cycle sourceStallCycles = 0;  ///< thread blocked on the buffer
+
+    double chainP95 = 0;          ///< 95th pct consumer chain length
+    double chainMax = 0;
+    double avgFragmentation = 0;  ///< TRS allocation waste fraction
+    double sramHitRate = 1.0;     ///< 1-cycle block allocations
+
+    std::uint64_t versionsCreated = 0;
+    std::uint64_t versionsRenamed = 0;
+    std::uint64_t dmaWritebacks = 0;
+    std::uint64_t messagesOnNoc = 0;
+    std::uint64_t eventsExecuted = 0;
+
+    /** Trace indices ordered by execution start time. */
+    std::vector<std::uint32_t> startOrder;
+};
+
+/**
+ * True when no memory object is touched by tasks of two different
+ * threads — the paper's data-partitioning requirement for multiple
+ * task-generating threads (section III-B).
+ */
+bool isDataPartitioned(const TaskTrace &trace,
+                       const std::vector<unsigned> &thread_of);
+
+/**
+ * A complete simulated task superscalar machine: one or more frontend
+ * pipelines over a shared backend. Build instances with
+ * SystemBuilder.
+ */
+class System
+{
+  public:
+    /**
+     * Run to completion.
+     * @param max_events Safety valve against runaway simulations.
+     */
+    RunResult run(std::uint64_t max_events = ~std::uint64_t(0));
+
+    /**
+     * Write a per-module utilization report (packets serviced, busy
+     * fraction, queue depths, NoC traffic) to @p os. Call after
+     * run().
+     */
+    void dumpStats(std::ostream &os) const;
+
+    /// @name Shared-infrastructure introspection.
+    /// @{
+    const PipelineConfig &config() const { return cfg; }
+    EventQueue &eventQueue() { return eq; }
+    TaskRegistry &taskRegistry() { return registry; }
+    FrontendStats &frontendStats() { return stats; }
+    Scheduler &scheduler() { return *sched; }
+    RingNetwork &network() { return *net; }
+    /// @}
+
+    /// @name Per-pipeline and global-index module access. TRS, ORT
+    /// and OVT indices are global (the index spaces of TaskId::trs
+    /// and VersionRef::ovt): pipeline p owns TRSs
+    /// [p*numTrs, (p+1)*numTrs) and ORT/OVT pairs
+    /// [p*numOrt, (p+1)*numOrt).
+    /// @{
+    unsigned numPipelines() const { return cfg.numPipelines; }
+    Gateway &gateway(unsigned pipe = 0) { return *gateways.at(pipe); }
+    Trs &trs(unsigned i) { return *trsModules.at(i); }
+    Ort &ort(unsigned i) { return *ortModules.at(i); }
+    Ovt &ovt(unsigned i) { return *ovtModules.at(i); }
+    std::size_t numSources() const { return sources.size(); }
+    TaskSource &source(unsigned thread) { return *sources.at(thread); }
+    /// @}
+
+  private:
+    friend class SystemBuilder;
+
+    System(const PipelineConfig &config, const TaskTrace &task_trace)
+        : cfg(config), trace(task_trace), registry(task_trace)
+    {}
+
+    PipelineConfig cfg;
+    const TaskTrace &trace;
+
+    EventQueue eq;
+    TaskRegistry registry;
+    FrontendStats stats;
+
+    std::unique_ptr<RingNetwork> net;
+    std::unique_ptr<DmaEngine> dma;
+    std::vector<std::unique_ptr<Gateway>> gateways;
+    std::vector<std::unique_ptr<TaskSource>> sources;
+    std::unique_ptr<Scheduler> sched;
+    std::vector<std::unique_ptr<Trs>> trsModules;
+    std::vector<std::unique_ptr<Ort>> ortModules;
+    std::vector<std::unique_ptr<Ovt>> ovtModules;
+    std::vector<std::unique_ptr<WorkerCore>> workers;
+};
+
+/**
+ * Composes a System from a PipelineConfig: N frontend pipelines
+ * become a configuration choice instead of a code change. Generating
+ * threads are assigned to pipelines round-robin (thread t feeds
+ * pipeline t % numPipelines); with more than one thread the threads'
+ * data must be partitioned (checked, fatal() otherwise).
+ */
+class SystemBuilder
+{
+  public:
+    /** The trace must outlive the built System. */
+    SystemBuilder(const PipelineConfig &config,
+                  const TaskTrace &task_trace)
+        : cfg(config), trace(task_trace)
+    {}
+
+    /**
+     * Assign every task to a generating thread (paper section III-B).
+     * Tasks of one thread are emitted and decoded in their relative
+     * program order. Default: one thread generating the whole trace.
+     */
+    SystemBuilder &
+    threads(std::vector<unsigned> thread_of)
+    {
+        threadOf = std::move(thread_of);
+        return *this;
+    }
+
+    /** Validate the configuration and assemble the machine. */
+    std::unique_ptr<System> build();
+
+  private:
+    PipelineConfig cfg;
+    const TaskTrace &trace;
+    std::vector<unsigned> threadOf;
+};
+
+} // namespace tss
+
+#endif // TSS_CORE_SYSTEM_HH

@@ -34,6 +34,16 @@ struct Message
 
     virtual ~Message() = default;
 
+    /// @name Pooled storage. All messages draw from the per-thread
+    /// MessagePool, so the steady-state NoC path recycles storage
+    /// instead of hitting the global allocator per hop. The sized
+    /// delete receives the most-derived size from the deleting
+    /// destructor, matching the size class chosen at allocation.
+    /// @{
+    static void *operator new(std::size_t bytes);
+    static void operator delete(void *p, std::size_t bytes) noexcept;
+    /// @}
+
     NodeId src;
     NodeId dst;
     Bytes bytes;

@@ -1,0 +1,20 @@
+#include "noc/message_pool.hh"
+
+#include "noc/message.hh"
+
+namespace tss
+{
+
+void *
+Message::operator new(std::size_t bytes)
+{
+    return MessagePool::local().allocate(bytes);
+}
+
+void
+Message::operator delete(void *p, std::size_t bytes) noexcept
+{
+    MessagePool::local().release(p, bytes);
+}
+
+} // namespace tss

@@ -60,11 +60,8 @@ class Network : public SimObject
         TSS_ASSERT(it != endpoints.end(),
                    "message to unattached node %d", msg->dst);
         Endpoint *ep = it->second;
-        // Shared ownership shim: the event queue needs a copyable
-        // callable, so stash the message in a shared_ptr.
-        auto shared = std::make_shared<MessagePtr>(std::move(msg));
-        eventQueue().schedule(when, [ep, shared]() mutable {
-            ep->receive(std::move(*shared));
+        eventQueue().schedule(when, [ep, m = std::move(msg)]() mutable {
+            ep->receive(std::move(m));
         });
     }
 

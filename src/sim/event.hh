@@ -1,0 +1,205 @@
+/**
+ * @file
+ * The pooled event callback. Every event the simulation schedules
+ * used to be a std::function, which heap-allocates whenever a capture
+ * outgrows its small buffer and cannot hold move-only captures at
+ * all. EventCallback stores callables up to 32 bytes inline (which
+ * covers every closure on the simulator's hot paths) and spills
+ * larger ones into a per-thread ChunkPool, so the scheduling path
+ * performs O(1) amortized allocations and NoC messages can travel
+ * inside events as unique_ptrs instead of shared_ptr shims.
+ *
+ * Trivially copyable callables (the common case: captures of `this`,
+ * pointers and integers) relocate with a fixed-size memcpy and skip
+ * destruction entirely, so moving events around the priority queue's
+ * heap costs the same as moving a POD.
+ */
+
+#ifndef TSS_SIM_EVENT_HH
+#define TSS_SIM_EVENT_HH
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "pool.hh"
+
+namespace tss
+{
+
+/**
+ * A move-only type-erased callable with small-buffer optimization and
+ * pool-backed overflow storage.
+ */
+class EventCallback
+{
+  public:
+    /** Inline storage: large enough for `[this, ptr, u64, u64]`. */
+    static constexpr std::size_t inlineBytes = 32;
+
+    /** The pool that overflow (and only overflow) closures use. */
+    static ChunkPool &
+    pool()
+    {
+        static thread_local ChunkPool p;
+        return p;
+    }
+
+    EventCallback() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<!std::is_same_v<
+                  std::decay_t<F>, EventCallback>>>
+    EventCallback(F &&fn) // NOLINT: implicit like std::function
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                      "over-aligned event captures are unsupported");
+        if constexpr (fitsInline<Fn>()) {
+            new (storage) Fn(std::forward<F>(fn));
+            ops = inlineOps<Fn>();
+        } else {
+            auto &rep = *new (storage) HeapRep;
+            rep.bytes = sizeof(Fn);
+            rep.ptr = pool().allocate(sizeof(Fn));
+            new (rep.ptr) Fn(std::forward<F>(fn));
+            ops = heapOps<Fn>();
+        }
+    }
+
+    EventCallback(EventCallback &&other) noexcept { moveFrom(other); }
+
+    EventCallback &
+    operator=(EventCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    EventCallback(const EventCallback &) = delete;
+    EventCallback &operator=(const EventCallback &) = delete;
+
+    ~EventCallback() { reset(); }
+
+    /** Invoke the stored callable (must not be empty). */
+    void operator()() { ops->invoke(storage); }
+
+    explicit operator bool() const { return ops != nullptr; }
+
+    /** True when the callable lives in the inline buffer. */
+    bool
+    storedInline() const
+    {
+        return ops != nullptr && ops->isInline;
+    }
+
+    /** Alignment of the inline buffer (pointer-sized captures). */
+    static constexpr std::size_t inlineAlign = alignof(void *);
+
+    /** Whether callable type @p Fn avoids the overflow pool. */
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= inlineBytes &&
+            alignof(Fn) <= inlineAlign &&
+            std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *storage);
+        /** Move dst <- src and destroy src's payload; nullptr means
+         *  "trivially relocatable: memcpy the whole buffer". */
+        void (*relocate)(void *dst, void *src) noexcept;
+        /** nullptr when destruction is a no-op. */
+        void (*destroy)(void *storage) noexcept;
+        bool isInline;
+    };
+
+    /** Overflow representation, stored at the front of `storage`. */
+    struct HeapRep
+    {
+        void *ptr;
+        std::size_t bytes;
+    };
+
+    template <typename Fn>
+    static const Ops *
+    inlineOps()
+    {
+        constexpr bool trivial = std::is_trivially_copyable_v<Fn> &&
+            std::is_trivially_destructible_v<Fn>;
+        static constexpr Ops ops{
+            [](void *s) { (*reinterpret_cast<Fn *>(s))(); },
+            trivial ? nullptr
+                    : +[](void *dst, void *src) noexcept {
+                          auto *f = reinterpret_cast<Fn *>(src);
+                          new (dst) Fn(std::move(*f));
+                          f->~Fn();
+                      },
+            std::is_trivially_destructible_v<Fn>
+                ? nullptr
+                : +[](void *s) noexcept {
+                      reinterpret_cast<Fn *>(s)->~Fn();
+                  },
+            true,
+        };
+        return &ops;
+    }
+
+    template <typename Fn>
+    static const Ops *
+    heapOps()
+    {
+        static constexpr Ops ops{
+            [](void *s) {
+                (*static_cast<Fn *>(reinterpret_cast<HeapRep *>(s)->ptr))();
+            },
+            nullptr, // HeapRep is a POD: memcpy relocates it
+            [](void *s) noexcept {
+                auto &rep = *reinterpret_cast<HeapRep *>(s);
+                static_cast<Fn *>(rep.ptr)->~Fn();
+                pool().release(rep.ptr, rep.bytes);
+            },
+            false,
+        };
+        return &ops;
+    }
+
+    void
+    moveFrom(EventCallback &other) noexcept
+    {
+        ops = other.ops;
+        if (ops) {
+            if (ops->relocate)
+                ops->relocate(storage, other.storage);
+            else
+                std::memcpy(storage, other.storage, inlineBytes);
+        }
+        other.ops = nullptr;
+    }
+
+    void
+    reset() noexcept
+    {
+        if (ops) {
+            if (ops->destroy)
+                ops->destroy(storage);
+            ops = nullptr;
+        }
+    }
+
+    alignas(inlineAlign) unsigned char storage[inlineBytes];
+    const Ops *ops = nullptr;
+};
+
+} // namespace tss
+
+#endif // TSS_SIM_EVENT_HH

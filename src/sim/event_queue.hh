@@ -10,18 +10,22 @@
 #define TSS_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
+#include "event.hh"
 #include "logging.hh"
 #include "types.hh"
 
 namespace tss
 {
 
-/** Callback type executed when an event fires. */
-using EventFn = std::function<void()>;
+/**
+ * Callback type executed when an event fires: a move-only pooled
+ * callable (see event.hh), so scheduling a small closure allocates
+ * nothing and closures may own resources (e.g. in-flight messages).
+ */
+using EventFn = EventCallback;
 
 /**
  * A deterministic discrete-event queue.
@@ -29,6 +33,12 @@ using EventFn = std::function<void()>;
  * Ties at the same cycle break first on priority (lower first) and
  * then on insertion order, which both keeps the simulation
  * reproducible and provides per-link FIFO delivery for the NoC.
+ *
+ * Storage is split in two: callbacks live in a slab whose slots are
+ * recycled through a free list (so scheduling allocates nothing once
+ * the slab is warm), while the priority queue orders 24-byte POD keys
+ * that reference slab slots. Heap sifts therefore move small PODs
+ * instead of whole events.
  */
 class EventQueue
 {
@@ -40,10 +50,10 @@ class EventQueue
     Cycle now() const { return _now; }
 
     /** True when no events remain. */
-    bool empty() const { return events.empty(); }
+    bool empty() const { return heap.empty(); }
 
     /** Number of pending events. */
-    std::size_t size() const { return events.size(); }
+    std::size_t size() const { return heap.size(); }
 
     /** Total number of events executed so far. */
     std::uint64_t executed() const { return numExecuted; }
@@ -60,7 +70,16 @@ class EventQueue
         TSS_ASSERT(when >= _now,
                    "event scheduled in the past (%llu < %llu)",
                    (unsigned long long)when, (unsigned long long)_now);
-        events.push(Event{when, priority, nextSeq++, std::move(fn)});
+        std::uint32_t slot;
+        if (freeSlots.empty()) {
+            slot = static_cast<std::uint32_t>(slab.size());
+            slab.push_back(std::move(fn));
+        } else {
+            slot = freeSlots.back();
+            freeSlots.pop_back();
+            slab[slot] = std::move(fn);
+        }
+        heap.push(Key{when, nextSeq++, priority, slot});
     }
 
     /** Schedule an event @p delay cycles from now. */
@@ -77,15 +96,14 @@ class EventQueue
     bool
     step()
     {
-        if (events.empty())
+        if (heap.empty())
             return false;
-        // Moving out of a priority_queue requires a const_cast; the
-        // element is popped immediately afterwards so this is safe.
-        Event &top = const_cast<Event &>(events.top());
+        Key top = heap.top();
         TSS_ASSERT(top.when >= _now, "event queue went backwards");
         _now = top.when;
-        EventFn fn = std::move(top.fn);
-        events.pop();
+        heap.pop();
+        EventFn fn = std::move(slab[top.slot]);
+        freeSlots.push_back(top.slot);
         ++numExecuted;
         fn();
         return true;
@@ -112,24 +130,28 @@ class EventQueue
     runUntil(Cycle limit)
     {
         std::uint64_t n = 0;
-        while (!events.empty() && events.top().when <= limit && step())
+        while (!heap.empty() && heap.top().when <= limit && step())
             ++n;
         return n;
     }
 
+    /** Callback slots currently parked in the slab (for tests). */
+    std::size_t slabCapacity() const { return slab.size(); }
+
   private:
-    struct Event
+    /** Ordering key referencing a slab slot; a 24-byte POD. */
+    struct Key
     {
         Cycle when;
-        int priority;
         std::uint64_t seq;
-        EventFn fn;
+        int priority;
+        std::uint32_t slot;
     };
 
     struct Later
     {
         bool
-        operator()(const Event &a, const Event &b) const
+        operator()(const Key &a, const Key &b) const
         {
             if (a.when != b.when)
                 return a.when > b.when;
@@ -139,7 +161,9 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> events;
+    std::priority_queue<Key, std::vector<Key>, Later> heap;
+    std::vector<EventFn> slab;
+    std::vector<std::uint32_t> freeSlots;
     Cycle _now = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t numExecuted = 0;
