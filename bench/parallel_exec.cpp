@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Wall-clock baselines for the real parallel-execution backend:
+ * sequential reference vs. graph-mode work-stealing execution at
+ * several thread counts, plus one replay-mode run of a simulated
+ * schedule — on a real blocked Cholesky with float kernels. Prints a
+ * JSON block suitable for BENCH_parallel.json. The interesting
+ * number is the wall-clock speedup *next to* the simulated speedup
+ * for the same core count: the simulator predicts, the thread pool
+ * delivers (hardware permitting — on a single-core machine the wall
+ * speedup is bounded by 1 while the simulated one is not).
+ */
+
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/experiment.hh"
+#include "runtime/parallel_exec.hh"
+#include "workload/starss_programs.hh"
+
+namespace
+{
+
+/// Bench-sized blocked Cholesky: ~0.4 GFLOP of real kernel work.
+constexpr unsigned benchBlocks = 10;
+constexpr unsigned benchDim = 48;
+
+tss::starss::RealProgramInfo
+benchProgram()
+{
+    return {"cholesky_bench", "blocked Cholesky, bench-sized",
+            [](std::uint64_t seed) {
+                return tss::starss::makeCholeskyProgram(
+                    seed, benchBlocks, benchDim);
+            }};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+    std::vector<unsigned> thread_counts{1, 2, 4, 8};
+    if (quick)
+        thread_counts = {1, 4};
+
+    tss::starss::RealProgramInfo info = benchProgram();
+    {
+        // Machine context goes to stderr so stdout stays valid JSON
+        // (BENCH_parallel.json splices these sections in verbatim).
+        auto probe = info.make(1);
+        std::cerr << "# cholesky " << benchBlocks << "x" << benchBlocks
+                  << " blocks of " << benchDim << "x" << benchDim
+                  << " floats, " << probe->context().numTasks()
+                  << " tasks; hardware_concurrency="
+                  << std::thread::hardware_concurrency() << "\n";
+    }
+
+    // One stable sequential baseline (best of 3) shared by every
+    // row, so wall_speedup values are comparable across thread
+    // counts instead of each row dividing by its own noisy sample.
+    double seq_baseline = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+        auto program = info.make(1);
+        auto begin = std::chrono::steady_clock::now();
+        program->context().runSequential();
+        auto end = std::chrono::steady_clock::now();
+        double s = std::chrono::duration<double>(end - begin).count();
+        if (seq_baseline == 0 || s < seq_baseline)
+            seq_baseline = s;
+    }
+
+    std::cout << "{\n  \"graph_mode\": [\n";
+    bool first = true;
+    for (unsigned threads : thread_counts) {
+        tss::RealExecResult r =
+            tss::runParallelReal(info, 1, threads, seq_baseline);
+        if (!r.bitIdentical) {
+            std::cerr << "BUG: parallel result diverged at " << threads
+                      << " threads\n";
+            return 1;
+        }
+        std::cout << (first ? "" : ",\n")
+                  << "    {\"threads\": " << threads
+                  << ", \"seq_seconds\": " << r.seqSeconds
+                  << ", \"par_seconds\": " << r.parSeconds
+                  << ", \"wall_speedup\": " << r.wallSpeedup
+                  << ", \"sim_speedup\": " << r.simSpeedup
+                  << ", \"steals\": " << r.steals
+                  << ", \"versions\": " << r.versions << "}";
+        first = false;
+    }
+    std::cout << "\n  ],\n";
+
+    // Replay mode: execute a 4-core simulated decision for real.
+    {
+        auto program = info.make(1);
+        tss::PipelineConfig cfg;
+        cfg.numCores = 4;
+        tss::RunResult decision =
+            tss::runHardware(cfg, program->context().trace());
+        tss::starss::ParallelExecutor exec(program->context());
+        tss::starss::ParallelRunStats stats =
+            exec.runReplay(decision);
+        std::cout << "  \"replay_mode\": {\"cores\": 4, \"threads\": "
+                  << stats.threads << ", \"wall_seconds\": "
+                  << stats.wallSeconds << ", \"sim_speedup\": "
+                  << decision.speedup << "}\n}\n";
+    }
+    return 0;
+}

@@ -67,6 +67,21 @@ class Scheduler : public FrontendModule
     }
 
   private:
+    /**
+     * Drain the ready queue onto the least-loaded cores.
+     *
+     * The placement tie-break is pinned and part of the replay
+     * contract (runtime/parallel_exec.hh executes these decisions on
+     * real threads, and tests/test_parallel_exec.cc asserts two runs
+     * of the same trace produce identical startOrder/coreOf):
+     * among equally loaded cores the *first in rotated scan order*
+     * wins, where the scan starts at the core after the previous
+     * winner (round-robin pointer nextCoreRr) — strictly-less
+     * comparison, so later equally-loaded cores never displace an
+     * earlier match. Combined with the deterministic (priority,
+     * insertion)-ordered EventQueue this makes dispatch order and
+     * core assignment a pure function of (trace, config).
+     */
     void
     dispatchAll()
     {

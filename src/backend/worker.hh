@@ -72,6 +72,7 @@ class WorkerCore : public SimObject, public Endpoint
                 static_cast<double>(runtime) / speed);
         }
         registry.record(trace_index).started = curCycle();
+        registry.record(trace_index).core = coreIndex;
 
         scheduleIn(runtime, [this, id, trace_index, runtime] {
             registry.record(trace_index).finished = curCycle();

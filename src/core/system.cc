@@ -217,10 +217,12 @@ System::run(std::uint64_t max_events)
     std::vector<std::uint32_t> order(trace.size());
     std::iota(order.begin(), order.end(), 0);
     const auto &records = registry.allRecords();
+    result.coreOf.reserve(records.size());
     for (const auto &rec : records) {
         result.makespan = std::max(result.makespan, rec.finished);
         if (rec.decodeDone != invalidCycle)
             decode_times.push_back(rec.decodeDone);
+        result.coreOf.push_back(rec.core);
     }
     std::sort(order.begin(), order.end(),
               [&](std::uint32_t a, std::uint32_t b) {

@@ -61,6 +61,14 @@ struct RunResult
 
     /** Trace indices ordered by execution start time. */
     std::vector<std::uint32_t> startOrder;
+
+    /**
+     * Worker core that executed each task, indexed by trace index.
+     * Together with startOrder this is the complete scheduling
+     * decision of the run — the ParallelExecutor's replay mode obeys
+     * it on real threads (see runtime/parallel_exec.hh).
+     */
+    std::vector<unsigned> coreOf;
 };
 
 /**

@@ -29,6 +29,9 @@ struct TaskRecord
     Cycle ready = invalidCycle;      ///< all operands data-ready
     Cycle started = invalidCycle;    ///< began executing on a core
     Cycle finished = invalidCycle;   ///< kernel completed
+
+    /** Worker core that executed the task (replay-mode schedule). */
+    unsigned core = ~0u;
 };
 
 /** Maps in-flight hardware task ids to trace indices and records. */

@@ -1,5 +1,8 @@
 #include "experiment.hh"
 
+#include <chrono>
+
+#include "runtime/parallel_exec.hh"
 #include "sim/logging.hh"
 
 namespace tss
@@ -42,6 +45,39 @@ makeWorkload(const std::string &name, double scale, std::uint64_t seed)
     params.scale = scale;
     params.seed = seed;
     return info->generate(params);
+}
+
+RealExecResult
+runParallelReal(const starss::RealProgramInfo &info, std::uint64_t seed,
+                unsigned threads, double seq_seconds_baseline)
+{
+    RealExecResult result;
+    result.threads = threads;
+
+    auto sequential = info.make(seed);
+    auto begin = std::chrono::steady_clock::now();
+    sequential->context().runSequential();
+    auto end = std::chrono::steady_clock::now();
+    result.seqSeconds = seq_seconds_baseline > 0
+        ? seq_seconds_baseline
+        : std::chrono::duration<double>(end - begin).count();
+
+    auto parallel = info.make(seed);
+    starss::ParallelExecutor exec(parallel->context());
+    starss::ParallelRunStats stats = exec.runGraph(threads);
+    result.parSeconds = stats.wallSeconds;
+    result.versions = stats.versions;
+    result.steals = stats.steals;
+    if (result.parSeconds > 0)
+        result.wallSpeedup = result.seqSeconds / result.parSeconds;
+    result.bitIdentical =
+        parallel->snapshot() == sequential->snapshot();
+
+    PipelineConfig cfg;
+    cfg.numCores = threads;
+    result.simSpeedup =
+        runHardware(cfg, parallel->context().trace()).speedup;
+    return result;
 }
 
 } // namespace tss

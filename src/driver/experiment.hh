@@ -14,6 +14,7 @@
 #include "core/pipeline.hh"
 #include "swruntime/sw_runtime.hh"
 #include "trace/task_trace.hh"
+#include "workload/starss_programs.hh"
 #include "workload/workload.hh"
 
 namespace tss
@@ -41,6 +42,43 @@ PipelineConfig paperConfig(unsigned cores = 256);
  */
 TaskTrace makeWorkload(const std::string &name, double scale,
                        std::uint64_t seed = 1);
+
+/**
+ * One real-execution measurement: the simulated speedup of the
+ * pipeline's schedule side by side with the wall-clock speedup of
+ * actually running the kernels on a thread pool.
+ */
+struct RealExecResult
+{
+    unsigned threads = 0;
+    double seqSeconds = 0;    ///< sequential real execution
+    double parSeconds = 0;    ///< graph-mode parallel execution
+    double wallSpeedup = 0;   ///< seqSeconds / parSeconds
+    double simSpeedup = 0;    ///< simulated, same core count
+    std::size_t versions = 0; ///< rename buffers used
+    std::uint64_t steals = 0; ///< work-stealing deque steals
+    bool bitIdentical = false; ///< parallel memory == sequential
+};
+
+/**
+ * Really execute the real-kernel program @p info at @p seed: once
+ * sequentially (wall-clock reference), once in graph mode on
+ * @p threads, and once through the simulated pipeline with
+ * @p threads cores — so callers can report measured wall-clock
+ * speedup next to the simulator's predicted speedup. Fresh program
+ * instances are built per execution; `bitIdentical` reports the
+ * differential check.
+ *
+ * A sequential run always happens (it produces the reference
+ * snapshot), but when @p seq_seconds_baseline > 0 that value is used
+ * as `seqSeconds` for the speedup instead of the fresh measurement —
+ * callers comparing several thread counts should measure one stable
+ * baseline (e.g. best of N) and pass it to every call, so all rows
+ * share a reference (see bench/parallel_exec.cpp).
+ */
+RealExecResult runParallelReal(const starss::RealProgramInfo &info,
+                               std::uint64_t seed, unsigned threads,
+                               double seq_seconds_baseline = 0);
 
 } // namespace tss
 

@@ -1,7 +1,6 @@
 #include "functional_exec.hh"
 
-#include <cstring>
-
+#include "runtime/rename_store.hh"
 #include "sim/logging.hh"
 
 namespace tss::starss
@@ -21,115 +20,17 @@ FunctionalExecutor::execute(const std::vector<std::uint32_t> &order)
               "dependency graph");
     }
 
-    const TaskTrace &trace = ctx.trace();
-    auto n = static_cast<std::uint32_t>(trace.size());
-
-    // Pass 1 (program order): assign a version id to every operand,
-    // mirroring the ORT/OVT decode. Readers see the current version;
-    // writers create a new one.
-    struct ObjectState
-    {
-        std::int64_t curVersion = -1;
-    };
-    std::unordered_map<std::uint64_t, ObjectState> objects;
-    std::vector<std::vector<std::int64_t>> readVersion(n);
-    std::vector<std::vector<std::int64_t>> writeVersion(n);
-    std::int64_t next_version = 0;
-    // version -> (object address, bytes) for materialization.
-    std::vector<std::pair<std::uint64_t, Bytes>> version_object;
-
-    for (std::uint32_t t = 0; t < n; ++t) {
-        const TraceTask &task = trace.tasks[t];
-        readVersion[t].assign(task.operands.size(), -1);
-        writeVersion[t].assign(task.operands.size(), -1);
-        for (std::size_t i = 0; i < task.operands.size(); ++i) {
-            const TraceOperand &op = task.operands[i];
-            if (!isMemoryOperand(op.dir))
-                continue;
-            ObjectState &obj = objects[op.addr];
-            if (readsObject(op.dir))
-                readVersion[t][i] = obj.curVersion;
-            if (writesObject(op.dir)) {
-                obj.curVersion = next_version++;
-                version_object.emplace_back(op.addr, op.bytes);
-                writeVersion[t][i] = obj.curVersion;
-            }
-        }
-    }
-
-    // Pass 2 (execution order): run kernels against per-version
-    // buffers. Version -1 means "the data still lives in program
-    // memory".
-    std::vector<VersionBuffer> buffers(
-        static_cast<std::size_t>(next_version));
-    auto materialize = [&](std::int64_t version) -> VersionBuffer & {
-        auto &buf = buffers[static_cast<std::size_t>(version)];
-        if (!buf.data) {
-            Bytes bytes = version_object[
-                static_cast<std::size_t>(version)].second;
-            buf.data = std::make_unique<std::uint8_t[]>(bytes);
-            buf.bytes = bytes;
-        }
-        return buf;
-    };
-
-    std::vector<bool> executed(n, false);
+    RenameStore store(ctx.trace());
+    std::vector<bool> executed(ctx.trace().size(), false);
     for (std::uint32_t t : order) {
         TSS_ASSERT(!executed[t], "task %u executed twice", t);
         executed[t] = true;
-        const TraceTask &task = trace.tasks[t];
-        const std::vector<Param> &params = ctx.taskParams(t);
-
-        std::vector<void *> ptrs(task.operands.size());
-        for (std::size_t i = 0; i < task.operands.size(); ++i) {
-            const TraceOperand &op = task.operands[i];
-            if (!isMemoryOperand(op.dir)) {
-                ptrs[i] = params[i].ptr;
-                continue;
-            }
-            if (op.dir == Dir::In) {
-                std::int64_t v = readVersion[t][i];
-                ptrs[i] = v < 0
-                    ? params[i].ptr
-                    : buffers[static_cast<std::size_t>(v)].data.get();
-            } else {
-                VersionBuffer &dst =
-                    materialize(writeVersion[t][i]);
-                if (op.dir == Dir::InOut) {
-                    // True dependency: seed the new version with the
-                    // consumed version's contents.
-                    std::int64_t v = readVersion[t][i];
-                    const void *src = params[i].ptr;
-                    Bytes copy_bytes = dst.bytes;
-                    if (v >= 0) {
-                        const auto &prev =
-                            buffers[static_cast<std::size_t>(v)];
-                        src = prev.data.get();
-                        copy_bytes = std::min(copy_bytes, prev.bytes);
-                    }
-                    std::memcpy(dst.data.get(), src, copy_bytes);
-                }
-                ptrs[i] = dst.data.get();
-            }
-        }
-
-        Buffers bufs(std::move(ptrs));
-        ctx.kernelFn(task.kernel)(bufs);
+        Buffers bufs(store.bind(t, ctx.taskParams(t)));
+        ctx.kernelFn(ctx.trace().tasks[t].kernel)(bufs);
     }
 
-    // DMA copy-back: the final version of every object lands at its
-    // home address.
-    for (const auto &[addr, obj] : objects) {
-        if (obj.curVersion < 0)
-            continue;
-        const VersionBuffer &buf =
-            buffers[static_cast<std::size_t>(obj.curVersion)];
-        if (buf.data) {
-            std::memcpy(reinterpret_cast<void *>(addr), buf.data.get(),
-                        buf.bytes);
-        }
-    }
-    return static_cast<std::size_t>(next_version);
+    store.copyBack();
+    return store.numVersions();
 }
 
 } // namespace tss::starss

@@ -3,20 +3,19 @@
  * Out-of-order functional execution with true memory renaming. Given
  * a TaskContext and an execution order (e.g. the start order observed
  * in a simulated pipeline run), the executor runs the real kernels in
- * that order while keeping one private buffer per operand *version* —
- * exactly what the OVT's rename buffers do in hardware. The final
- * buffer of every object is copied back to the program's memory (the
- * DMA copy-back), so results are bit-identical to sequential
- * execution for any order consistent with the renamed dependency
- * graph.
+ * that order against a RenameStore — one private buffer per operand
+ * *version*, exactly what the OVT's rename buffers do in hardware.
+ * The final buffer of every object is copied back to the program's
+ * memory (the DMA copy-back), so results are bit-identical to
+ * sequential execution for any order consistent with the renamed
+ * dependency graph. For execution on real threads rather than one,
+ * see runtime/parallel_exec.hh.
  */
 
 #ifndef TSS_RUNTIME_FUNCTIONAL_EXEC_HH
 #define TSS_RUNTIME_FUNCTIONAL_EXEC_HH
 
 #include <cstdint>
-#include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "graph/dep_graph.hh"
@@ -42,13 +41,6 @@ class FunctionalExecutor
     std::size_t execute(const std::vector<std::uint32_t> &order);
 
   private:
-    /** A materialized operand version. */
-    struct VersionBuffer
-    {
-        std::unique_ptr<std::uint8_t[]> data;
-        Bytes bytes = 0;
-    };
-
     TaskContext &ctx;
     DepGraph graph;
 };

@@ -87,6 +87,8 @@ class Buffers
 /** Kernel body: receives one buffer view per operand. */
 using KernelFn = std::function<void(Buffers &)>;
 
+struct ParallelRunStats; // runtime/parallel_exec.hh
+
 /** Handle to a registered kernel. */
 using KernelId = std::uint32_t;
 
@@ -119,6 +121,14 @@ class TaskContext
 
     /** Execute all tasks sequentially, in program order (reference). */
     void runSequential();
+
+    /**
+     * Execute all tasks on a real thread pool, scheduled dataflow-
+     * style over the renamed dependency graph (graph mode of
+     * runtime/parallel_exec.hh). @p n_threads == 0 uses the hardware
+     * concurrency. Results are bit-identical to runSequential().
+     */
+    ParallelRunStats runParallel(unsigned n_threads = 0);
 
     /// @name Executor access.
     /// @{

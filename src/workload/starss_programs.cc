@@ -1,0 +1,372 @@
+#include "starss_programs.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "sim/random.hh"
+
+namespace tss::starss
+{
+
+std::vector<std::uint8_t>
+RealProgram::snapshot() const
+{
+    std::size_t total = 0;
+    for (const auto &[ptr, bytes] : regions)
+        total += bytes;
+    std::vector<std::uint8_t> out;
+    out.reserve(total);
+    for (const auto &[ptr, bytes] : regions)
+        out.insert(out.end(), ptr, ptr + bytes);
+    return out;
+}
+
+namespace
+{
+
+/**
+ * Blocked Cholesky (the paper's Figure 4 loop nest) over an SPD
+ * matrix whose off-diagonal mass is perturbed by the seed.
+ */
+class CholeskyProgram : public RealProgram
+{
+  public:
+    CholeskyProgram(std::uint64_t seed, unsigned blocks, unsigned dim)
+        : nb(blocks), bd(dim),
+          data(std::size_t(nb) * nb, std::vector<float>(bd * bd))
+    {
+        Rng rng(seed);
+        unsigned n = nb * bd;
+        std::vector<float> full(std::size_t(n) * n);
+        for (unsigned i = 0; i < n; ++i) {
+            for (unsigned j = 0; j <= i; ++j) {
+                float v = 1.0f / (1.0f + std::abs(int(i) - int(j))) +
+                    static_cast<float>(rng.uniform(-0.05, 0.05));
+                full[std::size_t(i) * n + j] = v;
+                full[std::size_t(j) * n + i] = v;
+            }
+            full[std::size_t(i) * n + i] += static_cast<float>(n);
+        }
+        for (unsigned bi = 0; bi < nb; ++bi)
+            for (unsigned bj = 0; bj < nb; ++bj)
+                for (unsigned r = 0; r < bd; ++r)
+                    for (unsigned c = 0; c < bd; ++c)
+                        block(bi, bj)[r * bd + c] =
+                            full[(std::size_t(bi) * bd + r) * n +
+                                 bj * bd + c];
+        for (auto &b : data)
+            addRegion(b.data(), b.size() * sizeof(float));
+        spawnTasks();
+    }
+
+  private:
+    float *block(unsigned i, unsigned j)
+    {
+        return data[std::size_t(i) * nb + j].data();
+    }
+
+    void
+    spawnTasks()
+    {
+        const Bytes bb = Bytes(bd) * bd * sizeof(float);
+        unsigned dim = bd;
+        auto k_gemm = ctx.addKernel("sgemm_t", [dim](Buffers &b) {
+            const float *a = b.as<float>(0);
+            const float *bt = b.as<float>(1);
+            float *c = b.as<float>(2);
+            for (unsigned i = 0; i < dim; ++i)
+                for (unsigned j = 0; j < dim; ++j) {
+                    float s = c[i * dim + j];
+                    for (unsigned k = 0; k < dim; ++k)
+                        s -= a[i * dim + k] * bt[j * dim + k];
+                    c[i * dim + j] = s;
+                }
+        }, 23.0);
+        auto k_syrk = ctx.addKernel("ssyrk_t", [dim](Buffers &b) {
+            const float *a = b.as<float>(0);
+            float *c = b.as<float>(1);
+            for (unsigned i = 0; i < dim; ++i)
+                for (unsigned j = 0; j < dim; ++j) {
+                    float s = c[i * dim + j];
+                    for (unsigned k = 0; k < dim; ++k)
+                        s -= a[i * dim + k] * a[j * dim + k];
+                    c[i * dim + j] = s;
+                }
+        }, 20.0);
+        auto k_potrf = ctx.addKernel("spotrf_t", [dim](Buffers &b) {
+            float *a = b.as<float>(0);
+            for (unsigned j = 0; j < dim; ++j) {
+                float d = a[j * dim + j];
+                for (unsigned k = 0; k < j; ++k)
+                    d -= a[j * dim + k] * a[j * dim + k];
+                d = std::sqrt(d);
+                a[j * dim + j] = d;
+                for (unsigned i = j + 1; i < dim; ++i) {
+                    float s = a[i * dim + j];
+                    for (unsigned k = 0; k < j; ++k)
+                        s -= a[i * dim + k] * a[j * dim + k];
+                    a[i * dim + j] = s / d;
+                }
+                for (unsigned i = 0; i < j; ++i)
+                    a[i * dim + j] = 0.0f;
+            }
+        }, 16.0);
+        auto k_trsm = ctx.addKernel("strsm_t", [dim](Buffers &b) {
+            const float *l = b.as<float>(0);
+            float *x = b.as<float>(1);
+            for (unsigned i = 0; i < dim; ++i)
+                for (unsigned j = 0; j < dim; ++j) {
+                    float s = x[i * dim + j];
+                    for (unsigned k = 0; k < j; ++k)
+                        s -= x[i * dim + k] * l[j * dim + k];
+                    x[i * dim + j] = s / l[j * dim + j];
+                }
+        }, 20.0);
+
+        for (unsigned j = 0; j < nb; ++j) {
+            for (unsigned k = 0; k < j; ++k)
+                for (unsigned i = j + 1; i < nb; ++i)
+                    ctx.spawn(k_gemm, {in(block(i, k), bb),
+                                       in(block(j, k), bb),
+                                       inout(block(i, j), bb)});
+            for (unsigned i = 0; i < j; ++i)
+                ctx.spawn(k_syrk, {in(block(j, i), bb),
+                                   inout(block(j, j), bb)});
+            ctx.spawn(k_potrf, {inout(block(j, j), bb)});
+            for (unsigned i = j + 1; i < nb; ++i)
+                ctx.spawn(k_trsm, {in(block(j, j), bb),
+                                   inout(block(i, j), bb)});
+        }
+    }
+
+    unsigned nb, bd;
+    std::vector<std::vector<float>> data;
+};
+
+/** Blocked C += A*B: independent accumulation chains per C block. */
+class MatMulProgram : public RealProgram
+{
+  public:
+    MatMulProgram(std::uint64_t seed, unsigned blocks, unsigned dim)
+        : nb(blocks), bd(dim)
+    {
+        Rng rng(seed);
+        auto fill = [&](std::vector<std::vector<float>> &m) {
+            m.assign(std::size_t(nb) * nb,
+                     std::vector<float>(std::size_t(bd) * bd));
+            for (auto &blk : m)
+                for (auto &v : blk)
+                    v = static_cast<float>(rng.uniform(-1.0, 1.0));
+        };
+        fill(a);
+        fill(b);
+        fill(c);
+        for (auto *m : {&a, &b, &c})
+            for (auto &blk : *m)
+                addRegion(blk.data(), blk.size() * sizeof(float));
+
+        const Bytes bb = Bytes(bd) * bd * sizeof(float);
+        unsigned d = bd;
+        auto k_gemm = ctx.addKernel("gemm_acc", [d](Buffers &bufs) {
+            const float *pa = bufs.as<float>(0);
+            const float *pb = bufs.as<float>(1);
+            float *pc = bufs.as<float>(2);
+            for (unsigned i = 0; i < d; ++i)
+                for (unsigned j = 0; j < d; ++j) {
+                    float s = pc[i * d + j];
+                    for (unsigned k = 0; k < d; ++k)
+                        s += pa[i * d + k] * pb[k * d + j];
+                    pc[i * d + j] = s;
+                }
+        }, 23.0);
+        for (unsigned i = 0; i < nb; ++i)
+            for (unsigned j = 0; j < nb; ++j)
+                for (unsigned k = 0; k < nb; ++k)
+                    ctx.spawn(k_gemm,
+                              {in(blk(a, i, k), bb), in(blk(b, k, j), bb),
+                               inout(blk(c, i, j), bb)});
+    }
+
+  private:
+    float *
+    blk(std::vector<std::vector<float>> &m, unsigned i, unsigned j)
+    {
+        return m[std::size_t(i) * nb + j].data();
+    }
+
+    unsigned nb, bd;
+    std::vector<std::vector<float>> a, b, c;
+};
+
+/**
+ * 1-D Jacobi sweeps over ping-pong chunked grids. Destination chunks
+ * are `out` operands: every sweep rewrites the other grid, so the
+ * WaW/WaR hazards between sweeps exist only under sequential
+ * semantics — renaming dissolves them, which is exactly what this
+ * program stresses.
+ */
+class JacobiProgram : public RealProgram
+{
+  public:
+    JacobiProgram(std::uint64_t seed, unsigned chunks,
+                  unsigned chunk_elems, unsigned sweeps)
+        : nc(chunks), ce(chunk_elems)
+    {
+        Rng rng(seed);
+        auto fill = [&](std::vector<std::vector<double>> &g) {
+            g.assign(nc, std::vector<double>(ce));
+            for (auto &chunk : g)
+                for (auto &v : chunk)
+                    v = rng.uniform(0.0, 100.0);
+        };
+        fill(grid[0]);
+        fill(grid[1]);
+        for (auto &g : grid)
+            for (auto &chunk : g)
+                addRegion(chunk.data(), chunk.size() * sizeof(double));
+
+        const Bytes cb = Bytes(ce) * sizeof(double);
+        unsigned elems = ce;
+        // dst[i] = average of the 3-point stencil, with the chunk's
+        // own edge values standing in at the grid borders.
+        auto k_sweep = ctx.addKernel("jacobi3", [elems](Buffers &b) {
+            const double *left = b.as<double>(0);
+            const double *self = b.as<double>(1);
+            const double *right = b.as<double>(2);
+            double *dst = b.as<double>(3);
+            for (unsigned i = 0; i < elems; ++i) {
+                double lo = i == 0 ? left[elems - 1] : self[i - 1];
+                double hi = i == elems - 1 ? right[0] : self[i + 1];
+                dst[i] = (lo + 2.0 * self[i] + hi) / 4.0;
+            }
+        }, 12.0);
+
+        for (unsigned s = 0; s < sweeps; ++s) {
+            auto &src = grid[s % 2];
+            auto &dst = grid[(s + 1) % 2];
+            for (unsigned chunk = 0; chunk < nc; ++chunk) {
+                double *left =
+                    src[chunk == 0 ? chunk : chunk - 1].data();
+                double *right =
+                    src[chunk == nc - 1 ? chunk : chunk + 1].data();
+                ctx.spawn(k_sweep,
+                          {in(left, cb), in(src[chunk].data(), cb),
+                           in(right, cb), out(dst[chunk].data(), cb)});
+            }
+        }
+    }
+
+  private:
+    unsigned nc, ce;
+    std::vector<std::vector<double>> grid[2];
+};
+
+/**
+ * Integer tree reduction: a leaf transform per source buffer, then a
+ * log-depth combine tree into partial[0] — long exact-arithmetic
+ * dependence chains with a single hot output object.
+ */
+class ReduceProgram : public RealProgram
+{
+  public:
+    ReduceProgram(std::uint64_t seed, unsigned leaves, unsigned elems)
+        : nl(leaves), ne(elems)
+    {
+        Rng rng(seed);
+        sources.assign(nl, std::vector<std::uint64_t>(ne));
+        partials.assign(nl, std::vector<std::uint64_t>(ne, 0));
+        for (auto &src : sources)
+            for (auto &v : src)
+                v = rng.next();
+        for (auto *m : {&sources, &partials})
+            for (auto &buf : *m)
+                addRegion(buf.data(),
+                          buf.size() * sizeof(std::uint64_t));
+
+        const Bytes lb = Bytes(ne) * sizeof(std::uint64_t);
+        unsigned n = ne;
+        auto k_leaf = ctx.addKernel("leaf_mix", [n](Buffers &b) {
+            const std::uint64_t *src = b.as<std::uint64_t>(0);
+            std::uint64_t *dst = b.as<std::uint64_t>(1);
+            for (unsigned i = 0; i < n; ++i) {
+                std::uint64_t v = src[i] * 0x9e3779b97f4a7c15ULL;
+                dst[i] = v ^ (v >> 29);
+            }
+        }, 8.0);
+        auto k_combine = ctx.addKernel("combine", [n](Buffers &b) {
+            const std::uint64_t *other = b.as<std::uint64_t>(0);
+            std::uint64_t *acc = b.as<std::uint64_t>(1);
+            for (unsigned i = 0; i < n; ++i)
+                acc[i] = acc[i] * 31 + other[i];
+        }, 8.0);
+
+        for (unsigned l = 0; l < nl; ++l)
+            ctx.spawn(k_leaf, {in(sources[l].data(), lb),
+                               out(partials[l].data(), lb)});
+        for (unsigned stride = 1; stride < nl; stride *= 2)
+            for (unsigned l = 0; l + stride < nl; l += 2 * stride)
+                ctx.spawn(k_combine,
+                          {in(partials[l + stride].data(), lb),
+                           inout(partials[l].data(), lb)});
+    }
+
+  private:
+    unsigned nl, ne;
+    std::vector<std::vector<std::uint64_t>> sources;
+    std::vector<std::vector<std::uint64_t>> partials;
+};
+
+} // namespace
+
+std::unique_ptr<RealProgram>
+makeCholeskyProgram(std::uint64_t seed, unsigned blocks, unsigned dim)
+{
+    return std::make_unique<CholeskyProgram>(seed, blocks, dim);
+}
+
+std::unique_ptr<RealProgram>
+makeMatMulProgram(std::uint64_t seed, unsigned blocks, unsigned dim)
+{
+    return std::make_unique<MatMulProgram>(seed, blocks, dim);
+}
+
+std::unique_ptr<RealProgram>
+makeJacobiProgram(std::uint64_t seed, unsigned chunks,
+                  unsigned chunk_elems, unsigned sweeps)
+{
+    return std::make_unique<JacobiProgram>(seed, chunks, chunk_elems,
+                                           sweeps);
+}
+
+std::unique_ptr<RealProgram>
+makeReduceProgram(std::uint64_t seed, unsigned leaves, unsigned elems)
+{
+    return std::make_unique<ReduceProgram>(seed, leaves, elems);
+}
+
+const std::vector<RealProgramInfo> &
+realPrograms()
+{
+    static const std::vector<RealProgramInfo> programs = {
+        {"cholesky", "blocked Cholesky factorization (float)",
+         [](std::uint64_t seed) { return makeCholeskyProgram(seed); }},
+        {"matmul", "blocked matrix multiply C += A*B (float)",
+         [](std::uint64_t seed) { return makeMatMulProgram(seed); }},
+        {"jacobi", "1-D Jacobi sweeps, ping-pong out-renaming (double)",
+         [](std::uint64_t seed) { return makeJacobiProgram(seed); }},
+        {"reduce", "integer tree reduction, deep chains (uint64)",
+         [](std::uint64_t seed) { return makeReduceProgram(seed); }},
+    };
+    return programs;
+}
+
+const RealProgramInfo *
+findRealProgram(const std::string &name)
+{
+    for (const auto &info : realPrograms())
+        if (info.name == name)
+            return &info;
+    return nullptr;
+}
+
+} // namespace tss::starss
