@@ -1,0 +1,240 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the checked-in benchmark baselines.
+
+Two benchmark families are gated:
+
+* kernel  -- ``fig12_decode_rate --quick --csv``: the decode-rate grid
+  (cycles/task per TRS x ORT design point) is a *deterministic*
+  simulator metric, compared cell by cell against the
+  ``fig12_quick_decode_rates`` section of BENCH_kernel.json. Higher
+  cycles/task than baseline * (1 + tolerance) fails. The bench's wall
+  time is also captured but always advisory: wall seconds are not
+  comparable across machines, and even on the same machine a noisy
+  neighbor (a shared CI runner, a background build) skews them far
+  beyond any honest tolerance.
+
+* parallel -- ``parallel_exec``: per-thread-count ``sim_speedup``
+  (deterministic) must stay above baseline * (1 - tolerance);
+  ``wall_speedup`` is advisory for the same reason as above. The
+  machine fingerprint recorded in both JSONs tells a human reader how
+  seriously to take an advisory wall delta. The bench itself aborts
+  if any parallel execution is not bit-identical to sequential
+  execution, so correctness is already enforced upstream.
+
+Usage:
+  compare_bench.py capture-kernel   --bench PATH --out FRESH.json
+  compare_bench.py capture-parallel --bench PATH --out FRESH.json
+  compare_bench.py compare --kind {kernel,parallel} \
+      --baseline BASE.json --fresh FRESH.json [--tolerance 0.15]
+
+``capture-*`` runs the benchmark and writes a fresh JSON (uploaded as
+a CI artifact — use it to re-baseline by hand). ``compare`` exits
+non-zero on regression.
+"""
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+
+
+def machine_fingerprint():
+    info = {
+        "hardware_concurrency": os.cpu_count() or 0,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.startswith("model name"):
+                    info["cpu_model"] = line.split(":", 1)[1].strip()
+                    break
+    except OSError:
+        pass
+    return info
+
+
+def parse_fig12_csv(text):
+    """CSV panels -> {workload: {"TRSxORT": cycles_per_task}}."""
+    grids = {}
+    workload = None
+    ort_counts = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if "(" in line and "tasks)" in line:
+            workload = line.split("(")[0].strip()
+            ort_counts = []
+            continue
+        if line.startswith("#TRS"):
+            ort_counts = [
+                col.split()[0] for col in line.split(",")[1:]
+            ]
+            continue
+        if workload and ort_counts and line[0].isdigit():
+            cells = line.split(",")
+            trs = cells[0]
+            grid = grids.setdefault(workload, {})
+            for ort, value in zip(ort_counts, cells[1:]):
+                grid[f"{trs}x{ort}"] = float(value)
+    return grids
+
+
+def run_bench(argv):
+    """Run a benchmark; on failure, surface its own diagnostics
+    (e.g. parallel_exec's differential-oracle divergence message)
+    instead of a bare CalledProcessError."""
+    result = subprocess.run(argv, capture_output=True, text=True)
+    if result.returncode != 0:
+        sys.stderr.write(result.stdout)
+        sys.stderr.write(result.stderr)
+        sys.exit(f"{' '.join(argv)} failed "
+                 f"(exit {result.returncode}); output above")
+    return result
+
+
+def capture_kernel(bench, out):
+    begin = time.monotonic()
+    result = run_bench([bench, "--quick", "--csv"])
+    wall = time.monotonic() - begin
+    fresh = {
+        "machine": machine_fingerprint(),
+        "fig12_quick_wall_seconds": round(wall, 3),
+        "fig12_quick_decode_rates": parse_fig12_csv(result.stdout),
+    }
+    with open(out, "w") as f:
+        json.dump(fresh, f, indent=2)
+        f.write("\n")
+    print(f"captured kernel metrics in {wall:.1f}s -> {out}")
+
+
+def capture_parallel(bench, out):
+    result = run_bench([bench])
+    fresh = json.loads(result.stdout)
+    fresh["machine"] = {**fresh.get("machine", {}),
+                        **machine_fingerprint()}
+    with open(out, "w") as f:
+        json.dump(fresh, f, indent=2)
+        f.write("\n")
+    rows = ", ".join(
+        f"{r['threads']}t x{r['wall_speedup']:.2f}"
+        for r in fresh["graph_mode"])
+    print(f"captured parallel metrics ({rows}) -> {out}")
+
+
+class Gate:
+    def __init__(self, tolerance):
+        self.tolerance = tolerance
+        self.failures = []
+
+    def check(self, name, fresh, baseline, higher_is_better,
+              advisory=False):
+        if higher_is_better:
+            limit = baseline * (1 - self.tolerance)
+            bad = fresh < limit
+        else:
+            limit = baseline * (1 + self.tolerance)
+            bad = fresh > limit
+        status = "ADVISORY" if advisory else ("FAIL" if bad else "ok")
+        if bad or advisory:
+            print(f"  [{status}] {name}: fresh {fresh:g} vs baseline "
+                  f"{baseline:g} (limit {limit:g})")
+        if bad and not advisory:
+            self.failures.append(name)
+
+
+def compare_kernel(baseline, fresh, gate):
+    base_grids = baseline["fig12_quick_decode_rates"]
+    fresh_grids = fresh["fig12_quick_decode_rates"]
+    for workload, grid in base_grids.items():
+        for point, value in grid.items():
+            if point not in fresh_grids.get(workload, {}):
+                gate.failures.append(f"{workload} {point} missing")
+                continue
+            gate.check(f"{workload} {point} cy/task",
+                       fresh_grids[workload][point], value,
+                       higher_is_better=False)
+    if "fig12_quick_wall_seconds" in baseline:
+        gate.check("fig12 --quick wall seconds",
+                   fresh["fig12_quick_wall_seconds"],
+                   baseline["fig12_quick_wall_seconds"],
+                   higher_is_better=False, advisory=True)
+
+
+def compare_parallel(baseline, fresh, gate):
+    fresh_rows = {r["threads"]: r for r in fresh["graph_mode"]}
+    compared = 0
+    for row in baseline["graph_mode"]:
+        threads = row["threads"]
+        if threads not in fresh_rows:
+            continue  # baseline rows beyond a --quick run
+        compared += 1
+        gate.check(f"graph_mode {threads}t sim_speedup",
+                   fresh_rows[threads]["sim_speedup"],
+                   row["sim_speedup"], higher_is_better=True)
+        gate.check(f"graph_mode {threads}t wall_speedup",
+                   fresh_rows[threads]["wall_speedup"],
+                   row["wall_speedup"], higher_is_better=True,
+                   advisory=True)
+    if compared == 0:
+        # A disjoint thread-count set would otherwise gate nothing
+        # and still report success.
+        gate.failures.append(
+            "no graph_mode thread counts in common with the baseline")
+    if "replay_mode" in baseline and "replay_mode" in fresh:
+        gate.check("replay_mode sim_speedup",
+                   fresh["replay_mode"]["sim_speedup"],
+                   baseline["replay_mode"]["sim_speedup"],
+                   higher_is_better=True)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    for name in ("capture-kernel", "capture-parallel"):
+        p = sub.add_parser(name)
+        p.add_argument("--bench", required=True)
+        p.add_argument("--out", required=True)
+
+    p = sub.add_parser("compare")
+    p.add_argument("--kind", choices=("kernel", "parallel"),
+                   required=True)
+    p.add_argument("--baseline", required=True)
+    p.add_argument("--fresh", required=True)
+    p.add_argument("--tolerance", type=float, default=0.15)
+
+    args = parser.parse_args()
+    if args.cmd == "capture-kernel":
+        capture_kernel(args.bench, args.out)
+        return 0
+    if args.cmd == "capture-parallel":
+        capture_parallel(args.bench, args.out)
+        return 0
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+    gate = Gate(args.tolerance)
+    print(f"comparing {args.kind} against {args.baseline} "
+          f"(tolerance +/-{gate.tolerance:.0%})")
+    if args.kind == "kernel":
+        compare_kernel(baseline, fresh, gate)
+    else:
+        compare_parallel(baseline, fresh, gate)
+    if gate.failures:
+        print(f"{len(gate.failures)} regression(s): "
+              + "; ".join(gate.failures))
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -75,7 +75,12 @@ main(int argc, char **argv)
             seq_baseline = s;
     }
 
-    std::cout << "{\n  \"graph_mode\": [\n";
+    // Machine metadata travels with the numbers: wall-clock speedups
+    // are only comparable against a baseline from the same machine
+    // (bench/compare_bench.py treats them as advisory otherwise).
+    std::cout << "{\n  \"machine\": {\"hardware_concurrency\": "
+              << std::thread::hardware_concurrency() << "},\n";
+    std::cout << "  \"graph_mode\": [\n";
     bool first = true;
     for (unsigned threads : thread_counts) {
         tss::RealExecResult r =

@@ -10,6 +10,7 @@
 #define TSS_CORE_CONFIG_HH
 
 #include "mem/block_layout.hh"
+#include "sim/hash.hh"
 #include "sim/types.hh"
 
 namespace tss
@@ -23,7 +24,10 @@ struct PipelineConfig
     /// numTrs/numOrt count instances *per pipeline*; numPipelines
     /// replicates the whole frontend (gateway + TRSs + ORT/OVT pairs)
     /// for the paper's multiple task-generating threads (section
-    /// III-B), which requires the threads' data to be partitioned.
+    /// III-B). Task ownership (TRS allocation) stays local to each
+    /// pipeline, but the ORT/OVT pairs of all pipelines form one
+    /// address-interleaved global directory: shardOf() names the slice
+    /// that owns an object, so generating threads may share data.
     /// @{
     unsigned numTrs = 8;
     unsigned numOrt = 2; ///< ORT/OVT pairs (each OVT serves one ORT)
@@ -127,6 +131,26 @@ struct PipelineConfig
     /// @{
     unsigned totalTrs() const { return numPipelines * numTrs; }
     unsigned totalOrt() const { return numPipelines * numOrt; }
+    /// @}
+
+    /// @name The address-interleaved directory: every object address
+    /// is owned by exactly one global ORT/OVT slice, on whichever
+    /// pipeline that slice lives. With one pipeline this reduces to
+    /// the historical per-pipeline operand hashing bit-for-bit.
+    /// @{
+
+    /** Global ORT/OVT slice owning @p addr. */
+    unsigned
+    shardOf(std::uint64_t addr) const
+    {
+        return static_cast<unsigned>(mixAddress(addr) % totalOrt());
+    }
+
+    /** Pipeline hosting global ORT/OVT slice @p shard. */
+    unsigned shardPipeline(unsigned shard) const { return shard / numOrt; }
+
+    /** Slice index of @p shard within its hosting pipeline. */
+    unsigned shardLocalIndex(unsigned shard) const { return shard % numOrt; }
     /// @}
 
     /** NoC tiles occupied by one frontend pipeline. */

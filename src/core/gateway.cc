@@ -3,20 +3,6 @@
 namespace tss
 {
 
-namespace
-{
-
-std::uint64_t
-mixAddress(std::uint64_t x)
-{
-    x += 0x9e3779b97f4a7c15ULL;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-    return x ^ (x >> 31);
-}
-
-} // namespace
-
 Gateway::Gateway(std::string name, EventQueue &eq, Network &network,
                  NodeId node_id, const PipelineConfig &config,
                  TaskRegistry &task_registry,
@@ -27,12 +13,6 @@ Gateway::Gateway(std::string name, EventQueue &eq, Network &network,
 {
     net.attach(node, *this);
     trsFree.assign(cfg.numTrs, cfg.blocksPerTrs());
-}
-
-unsigned
-Gateway::ortIndexFor(std::uint64_t addr, unsigned num_ort)
-{
-    return static_cast<unsigned>(mixAddress(addr) % num_ort);
 }
 
 void
@@ -56,19 +36,47 @@ Gateway::finishWork(Cycle cost)
 bool
 Gateway::tryAlloc()
 {
+    // Pick the allocation candidate. Partitioned mode keeps the
+    // historical buffer-order scan; ordered mode allocates the
+    // oldest buffered task by trace index, so window entries are
+    // granted in (global) program order wherever this gateway can
+    // observe it.
+    GwTask *chosen = nullptr;
     for (auto &task : buffer) {
         if (task.state != TaskState::NeedAlloc)
             continue;
+        if (!orderedAlloc) {
+            chosen = &task;
+            break;
+        }
+        if (!chosen || task.traceIndex < chosen->traceIndex)
+            chosen = &task;
+    }
+
+    if (chosen) {
+        GwTask &task = *chosen;
         const TraceTask &tt =
             registry.taskTrace().tasks[task.traceIndex];
         unsigned blocks = layout::blocksForOperands(
             static_cast<unsigned>(tt.operands.size()));
 
+        // Ordered mode keeps one maximal task allocation of the
+        // slice's first TRS in reserve: only the machine-wide oldest
+        // unfinished task may consume it, so the task at the global
+        // window head can always allocate, decode and retire — the
+        // escape that keeps shared-object ticket waits deadlock-free.
+        std::uint32_t reserve = 0;
+        if (orderedAlloc &&
+            task.traceIndex != registry.minUnfinishedIndex()) {
+            reserve = layout::blocksForOperands(layout::maxOperands);
+        }
+
         // Round-robin over the TRSs that have room (the paper keeps a
         // queue of TRSs with free space and picks the first).
         for (unsigned i = 0; i < cfg.numTrs; ++i) {
             unsigned trs = (nextTrsRr + i) % cfg.numTrs;
-            if (trsFree[trs] >= blocks) {
+            std::uint32_t need = blocks + (trs == 0 ? reserve : 0);
+            if (trsFree[trs] >= need) {
                 trsFree[trs] -= blocks;
                 nextTrsRr = (trs + 1) % cfg.numTrs;
                 task.state = TaskState::AllocPending;
@@ -108,11 +116,17 @@ Gateway::issueOperandOf(GwTask &task)
         ++task.nextOp;
 
         if (isMemoryOperand(op.dir)) {
-            unsigned ort = ortIndexFor(op.addr, cfg.numOrt);
+            unsigned shard = cfg.shardOf(op.addr);
             auto msg = std::make_unique<DecodeOperandMsg>(
                 oid, op.dir, op.addr, op.bytes);
+            if (registry.hasObjectTickets()) {
+                ObjectTicket ticket = registry.objectTicket(
+                    task.traceIndex, task.nextOp - 1);
+                msg->epoch = ticket.epoch;
+                msg->priorReads = ticket.priorReads;
+            }
             msg->src = node;
-            msg->dst = ortNodes[ort];
+            msg->dst = ortNodes[shard];
             net.send(std::move(msg));
         } else {
             auto msg = std::make_unique<ScalarOperandMsg>(oid);
@@ -201,6 +215,11 @@ Gateway::workLoop()
             trsFree[space.trs - trsBase] += space.freedBlocks;
             break;
           }
+          case MsgType::WatermarkAdvance:
+            // No state to update: the oldest-unfinished watermark
+            // moved, so the allocation retry below may now clear the
+            // ROB-head reserve gate.
+            break;
           case MsgType::GatewayStall:
             ++stallTokens;
             break;

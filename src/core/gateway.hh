@@ -3,9 +3,19 @@
  * Pipeline Gateway: admits tasks from the task-generating thread into
  * a small internal buffer, allocates TRS space (exact block
  * accounting, so allocation never fails), and issues operands to the
- * address-hashed ORTs strictly in program order — the in-order decode
- * requirement of section III-B. Allocation requests overlap with
- * operand issue thanks to the non-blocking protocol (section IV-B.1).
+ * address-sharded global directory strictly in program order — the
+ * in-order decode requirement of section III-B. Operands route to the
+ * ORT slice owning their address (PipelineConfig::shardOf), which may
+ * live on another pipeline; TRS allocation stays pipeline-local.
+ * Allocation requests overlap with operand issue thanks to the
+ * non-blocking protocol (section IV-B.1).
+ *
+ * When generating threads share data (ordered-allocation mode), the
+ * gateway additionally allocates its window entries oldest-first by
+ * trace index and keeps one maximal task allocation of its slice's
+ * first TRS in reserve for the machine-wide oldest unfinished task —
+ * the task-level ROB-head escape that makes the shared-object ticket
+ * protocol (see core/protocol.hh) deadlock-free.
  */
 
 #ifndef TSS_CORE_GATEWAY_HH
@@ -33,18 +43,22 @@ class Gateway : public SimObject, public Endpoint
      * Wire the gateway to its peers. @p trs_nodes is the *global*
      * TRS node table (indexed by TaskId::trs); this gateway allocates
      * only from the cfg.numTrs entries starting at @p trs_base — its
-     * own pipeline's slice. @p ort_nodes holds just this pipeline's
-     * ORTs (operand hashing is pipeline-local).
+     * own pipeline's slice. @p ort_nodes is the *global* directory
+     * slice table (indexed by PipelineConfig::shardOf): operands may
+     * route to any pipeline's slices. @p ordered_alloc enables the
+     * shared-data allocation order (oldest trace index first, with
+     * the reserve escape; see the file comment).
      */
     void
     setPeers(std::vector<NodeId> trs_nodes,
              std::vector<NodeId> ort_nodes, unsigned num_threads = 1,
-             unsigned trs_base = 0)
+             unsigned trs_base = 0, bool ordered_alloc = false)
     {
         trsNodes = std::move(trs_nodes);
         ortNodes = std::move(ort_nodes);
         numThreads = num_threads;
         trsBase = trs_base;
+        orderedAlloc = ordered_alloc;
     }
 
     void receive(MessagePtr msg) override;
@@ -55,9 +69,6 @@ class Gateway : public SimObject, public Endpoint
     bool stalled() const { return stallTokens > 0; }
     Cycle allocWaitCycles() const { return allocWait; }
     /// @}
-
-    /** ORT index an operand address hashes to. */
-    static unsigned ortIndexFor(std::uint64_t addr, unsigned num_ort);
 
   private:
     /** Lifecycle of a task inside the gateway buffer. */
@@ -103,10 +114,11 @@ class Gateway : public SimObject, public Endpoint
     NodeId node;
 
     std::vector<NodeId> trsNodes;
-    std::vector<NodeId> ortNodes;
+    std::vector<NodeId> ortNodes; ///< global directory slice table
     unsigned trsBase = 0; ///< first owned entry in the global table
     unsigned numThreads = 1;
     unsigned nextThreadRr = 0; ///< fairness over generating threads
+    bool orderedAlloc = false; ///< shared-data allocation discipline
 
     std::deque<GwTask> buffer;
     std::deque<std::unique_ptr<ProtoMsg>> pendingMsgs;

@@ -1,29 +1,17 @@
 #include "ort.hh"
 
+#include "sim/hash.hh"
+
 namespace tss
 {
-
-namespace
-{
-
-/** splitmix64 finalizer: spreads object base addresses over sets. */
-std::uint64_t
-mixAddress(std::uint64_t x)
-{
-    x += 0x9e3779b97f4a7c15ULL;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-    return x ^ (x >> 31);
-}
-
-} // namespace
 
 Ort::Ort(std::string name, EventQueue &eq, Network &network, NodeId node,
          unsigned ort_index, const PipelineConfig &config,
          FrontendStats &frontend_stats)
     : FrontendModule(std::move(name), eq, network, node),
       ortIndex(ort_index), cfg(config), stats(frontend_stats),
-      edram(config.ortTotalBytes / config.numOrt, config.edramLatency)
+      edram(config.ortTotalBytes / config.totalOrt(),
+            config.edramLatency)
 {
     std::uint32_t total = cfg.entriesPerOrt();
     numSets = std::max<std::uint32_t>(1, total / cfg.ortWays);
@@ -99,6 +87,7 @@ Ort::process(ProtoMsg &msg)
 {
     switch (msg.type) {
       case MsgType::DecodeOperand:
+      case MsgType::DecodeAdmit:
         return handleDecode(static_cast<DecodeOperandMsg &>(msg));
       case MsgType::VersionDead:
         return handleVersionDead(static_cast<VersionDeadMsg &>(msg));
@@ -110,9 +99,58 @@ Ort::process(ProtoMsg &msg)
     }
 }
 
+bool
+Ort::admissible(const DecodeOperandMsg &msg, const AdmitState &st)
+{
+    if (msg.epoch != st.epoch)
+        return false;
+    // Readers of the current epoch commute; the epoch's closing
+    // writer must wait for all of them.
+    return !writesObject(msg.dir) || st.readsSeen == msg.priorReads;
+}
+
+void
+Ort::commitAdmission(const DecodeOperandMsg &msg)
+{
+    AdmitState &st = admitState[msg.addr];
+    if (writesObject(msg.dir)) {
+        st.epoch = msg.epoch + 1;
+        st.readsSeen = 0;
+    } else {
+        ++st.readsSeen;
+    }
+
+    auto it = deferredByAddr.find(msg.addr);
+    if (it == deferredByAddr.end())
+        return;
+    auto &waiting = it->second;
+    for (std::size_t i = 0; i < waiting.size();) {
+        if (admissible(waiting[i], st)) {
+            sendMsg(nodeId(),
+                    std::make_unique<DecodeAdmitMsg>(waiting[i]));
+            waiting[i] = waiting.back();
+            waiting.pop_back();
+        } else {
+            ++i;
+        }
+    }
+    if (waiting.empty())
+        deferredByAddr.erase(it);
+}
+
 Ort::Service
 Ort::handleDecode(DecodeOperandMsg &msg)
 {
+    // Out-of-ticket-order operand for a shared object: park it aside
+    // (a tag probe's worth of service) and let the queue flow. Its
+    // re-arbitration is injected by commitAdmission.
+    if (orderedAdmission && !admissible(msg, admitState[msg.addr])) {
+        deferredByAddr[msg.addr].push_back(msg);
+        ++deferrals;
+        ++stats.decodeDeferrals;
+        return {cfg.packetLatency + edram.read(), false};
+    }
+
     // Two sequential 64 B tag-block reads per lookup (section IV-B.3).
     Cycle cost = cfg.packetLatency + edram.read(2);
 
@@ -124,14 +162,16 @@ Ort::handleDecode(DecodeOperandMsg &msg)
         writesObject(msg.dir);
     bool blocked = !entry || (needs_version && freeSlots.empty());
     if (blocked) {
-        // Full set (or no version credits): stall the gateway until a
-        // version dies, leaving the packet parked at the head.
+        // Full set (or no version credits): stall every gateway that
+        // feeds this directory slice until a version dies, leaving
+        // the packet parked at the head.
         if (!stallSent) {
             stallSent = true;
             stallStarted = curCycle();
             ++stalls;
             ++stats.gatewayStallEvents;
-            sendMsg(gatewayNode, std::make_unique<GatewayStallMsg>());
+            for (NodeId gw : gatewayNodes)
+                sendMsg(gw, std::make_unique<GatewayStallMsg>());
         }
         return {cost, true};
     }
@@ -139,7 +179,8 @@ Ort::handleDecode(DecodeOperandMsg &msg)
     if (stallSent) {
         stallSent = false;
         stats.gatewayStallCycles += curCycle() - stallStarted;
-        sendMsg(gatewayNode, std::make_unique<GatewayResumeMsg>());
+        for (NodeId gw : gatewayNodes)
+            sendMsg(gw, std::make_unique<GatewayResumeMsg>());
     }
 
     if (!entry->valid) {
@@ -230,6 +271,8 @@ Ort::handleDecode(DecodeOperandMsg &msg)
     }
 
     entry->lastUser = msg.op;
+    if (orderedAdmission)
+        commitAdmission(msg);
     cost += edram.write(); // entry update
     return {cost, false};
 }

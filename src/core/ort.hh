@@ -3,13 +3,25 @@
  * Object Renaming Table: the task-level analogue of the register
  * renaming table. Maps operand base addresses to the most recent user
  * and the live version of each memory object; 16-way associative,
- * never evicts live entries, and stalls the gateway when a set fills
+ * never evicts live entries, and stalls the gateways when a set fills
  * up (paper section IV-B.3).
+ *
+ * Each ORT is one slice of the address-interleaved global directory:
+ * it serves operands from every pipeline's gateway. With generating
+ * threads sharing data, the slice admits same-object operands in
+ * ticket order (see DecodeOperandMsg in core/protocol.hh): readers of
+ * one version epoch in any order, the next writer only once all of
+ * them have been seen. Out-of-turn operands are parked in a side
+ * buffer and re-arbitrated through the input queue (DecodeAdmit) when
+ * their ticket comes due, so the slice's per-object serialization is
+ * exactly the program order no matter how cross-pipeline message
+ * timing interleaves.
  */
 
 #ifndef TSS_CORE_ORT_HH
 #define TSS_CORE_ORT_HH
 
+#include <unordered_map>
 #include <vector>
 
 #include "core/config.hh"
@@ -29,13 +41,30 @@ class Ort : public FrontendModule
         unsigned ort_index, const PipelineConfig &config,
         FrontendStats &frontend_stats);
 
+    /**
+     * Wire the slice to its peers. @p gateways lists every gateway
+     * whose operands this slice may serve (all pipelines — stall flow
+     * control is broadcast); @p ordered_admission enables the
+     * shared-data ticket protocol.
+     */
+    void
+    setPeers(std::vector<NodeId> gateways,
+             std::vector<NodeId> trs_nodes, NodeId paired_ovt,
+             bool ordered_admission = false)
+    {
+        gatewayNodes = std::move(gateways);
+        trsNodes = std::move(trs_nodes);
+        ovtNode = paired_ovt;
+        orderedAdmission = ordered_admission;
+    }
+
+    /** Single-gateway convenience wiring (protocol unit tests). */
     void
     setPeers(NodeId gateway, std::vector<NodeId> trs_nodes,
              NodeId paired_ovt)
     {
-        gatewayNode = gateway;
-        trsNodes = std::move(trs_nodes);
-        ovtNode = paired_ovt;
+        setPeers(std::vector<NodeId>{gateway}, std::move(trs_nodes),
+                 paired_ovt);
     }
 
     /// @name Introspection for tests.
@@ -43,6 +72,7 @@ class Ort : public FrontendModule
     std::size_t liveEntries() const;
     std::size_t freeVersionSlots() const { return freeSlots.size(); }
     std::uint64_t stallEvents() const { return stalls.value(); }
+    std::uint64_t deferredOps() const { return deferrals.value(); }
     /// @}
 
   protected:
@@ -72,6 +102,24 @@ class Ort : public FrontendModule
     Service handleVersionDead(VersionDeadMsg &msg);
     Service handleQuiescent(VersionQuiescentMsg &msg);
 
+    /// @name Shared-data ticket admission (ordered mode).
+    /// @{
+
+    /** Per-object admission progress of this slice. */
+    struct AdmitState
+    {
+        std::uint32_t epoch = 0;     ///< writes admitted so far
+        std::uint32_t readsSeen = 0; ///< readers admitted this epoch
+    };
+
+    /** May @p msg be processed now, given the object's progress? */
+    static bool admissible(const DecodeOperandMsg &msg,
+                           const AdmitState &st);
+
+    /** Record an admitted operand and wake deferred successors. */
+    void commitAdmission(const DecodeOperandMsg &msg);
+    /// @}
+
     /**
      * Locate the entry for @p addr: a hit, a free/reclaimable way, or
      * nullptr when the set is full of live objects.
@@ -87,9 +135,16 @@ class Ort : public FrontendModule
     FrontendStats &stats;
     Edram edram;
 
-    NodeId gatewayNode = invalidNode;
+    std::vector<NodeId> gatewayNodes;
     NodeId ovtNode = invalidNode;
     std::vector<NodeId> trsNodes;
+
+    bool orderedAdmission = false;
+    std::unordered_map<std::uint64_t, AdmitState> admitState;
+    /// Out-of-turn operands parked per object until their ticket.
+    std::unordered_map<std::uint64_t, std::vector<DecodeOperandMsg>>
+        deferredByAddr;
+    Counter deferrals;
 
     std::uint32_t numSets;
     std::vector<Entry> entries; ///< numSets x ways

@@ -8,7 +8,8 @@ Ovt::Ovt(std::string name, EventQueue &eq, Network &network, NodeId node,
          FrontendStats &frontend_stats, DmaEngine &dma_engine)
     : FrontendModule(std::move(name), eq, network, node),
       ovtIndex(ovt_index), cfg(config), stats(frontend_stats),
-      edram(config.ovtTotalBytes / config.numOrt, config.edramLatency),
+      edram(config.ovtTotalBytes / config.totalOrt(),
+            config.edramLatency),
       buffers(0x4000'0000ULL + (std::uint64_t(ovt_index) << 36),
               config.renameRegionBytes),
       dma(dma_engine)

@@ -31,9 +31,9 @@ class Pipeline
     /**
      * Multi-threaded generation (paper section III-B): @p thread_of
      * assigns every task to a generating thread; tasks of one thread
-     * are emitted and decoded in their relative program order, and
-     * the threads' data must be partitioned (checked; fatal()
-     * otherwise). Each thread runs on its own master core.
+     * are emitted and decoded in their relative program order. The
+     * threads may share data (the sharded directory orders shared
+     * accesses by ticket). Each thread runs on its own master core.
      */
     Pipeline(const PipelineConfig &config, const TaskTrace &task_trace,
              const std::vector<unsigned> &thread_of);

@@ -46,8 +46,16 @@ enum class MsgType : std::uint8_t
     ScalarOperand,
     TrsSpace,
 
+    // TRS -> all gateways (shared-data mode): the oldest-unfinished
+    // watermark advanced; re-arbitrate reserve-gated allocations.
+    WatermarkAdvance,
+
     // Gateway -> ORT.
     DecodeOperand,
+
+    // ORT -> ORT (self): re-arbitration of an operand the sharded
+    // directory deferred to keep same-object decode in program order.
+    DecodeAdmit,
 
     // ORT -> gateway (flow control).
     GatewayStall,
@@ -156,6 +164,26 @@ struct ScalarOperandMsg : ProtoMsg
     OperandId op;
 };
 
+/**
+ * TRS -> every gateway: retiring this task advanced the machine-wide
+ * oldest-unfinished watermark (TaskRegistry::minUnfinishedIndex).
+ * Gateways on *other* pipelines may hold a task that just became
+ * eligible for the ROB-head reserve; without this wakeup their
+ * allocation loop would only re-run on local traffic and the reserve
+ * escape could miss its moment (cross-pipeline deadlock).
+ *
+ * Modeling note: this message is a data-free wakeup — the woken
+ * gateway reads the watermark *value* instantly from the shared
+ * TaskRegistry rather than from the packet, so shared-mode timing is
+ * optimistic by the watermark-propagation latency (unlike TrsSpace
+ * credits, which carry their payload). The reserve path only engages
+ * under a window-full jam, where the wakeup latency is already paid.
+ */
+struct WatermarkAdvanceMsg : ProtoMsg
+{
+    WatermarkAdvanceMsg() : ProtoMsg(MsgType::WatermarkAdvance, 8) {}
+};
+
 /** TRS tells the gateway blocks were freed (credit resync). */
 struct TrsSpaceMsg : ProtoMsg
 {
@@ -168,12 +196,26 @@ struct TrsSpaceMsg : ProtoMsg
     std::uint32_t freedBlocks;
 };
 
-/** Gateway sends one memory operand to its hashed ORT. */
+/**
+ * Gateway sends one memory operand to the ORT slice owning its
+ * address (PipelineConfig::shardOf — possibly on another pipeline).
+ *
+ * With several generating threads sharing data, the runtime stamps
+ * every access with an object *ticket* at task-creation time (a
+ * per-object fetch-and-increment, precomputed from the trace by
+ * SystemBuilder): @p epoch counts the writes to the object that
+ * precede this access in program order, and for writers
+ * @p priorReads counts the readers of the preceding version. The
+ * owning slice admits accesses in ticket order — readers of one
+ * epoch in any order, the next writer only after all of them — which
+ * makes the distributed directory's per-object serialization exactly
+ * the program order, regardless of message timing.
+ */
 struct DecodeOperandMsg : ProtoMsg
 {
     DecodeOperandMsg(OperandId operand, Dir direction,
                      std::uint64_t address, Bytes object_bytes)
-        : ProtoMsg(MsgType::DecodeOperand, 24), op(operand),
+        : ProtoMsg(MsgType::DecodeOperand, 28), op(operand),
           dir(direction), addr(address), objectBytes(object_bytes)
     {}
 
@@ -181,6 +223,21 @@ struct DecodeOperandMsg : ProtoMsg
     Dir dir;
     std::uint64_t addr;
     Bytes objectBytes;
+    std::uint32_t epoch = 0;      ///< object writes preceding this
+    std::uint32_t priorReads = 0; ///< epoch readers (writers only)
+};
+
+/**
+ * ORT -> itself: a deferred operand's ticket came due; re-arbitrate
+ * it through the slice's input queue. Carries the stashed operand.
+ */
+struct DecodeAdmitMsg : DecodeOperandMsg
+{
+    DecodeAdmitMsg(const DecodeOperandMsg &deferred)
+        : DecodeOperandMsg(deferred)
+    {
+        type = MsgType::DecodeAdmit;
+    }
 };
 
 /** ORT requests the gateway to pause while its set is full. */

@@ -36,10 +36,19 @@ SystemBuilder::build()
     unsigned num_threads = 1;
     for (unsigned t : threadOf)
         num_threads = std::max(num_threads, t + 1);
-    if (num_threads > 1 && !isDataPartitioned(trace, threadOf)) {
-        fatal("multiple task-generating threads require partitioned "
-              "data (paper section III-B)");
-    }
+
+    // Generating threads that share memory objects run the directory
+    // in ordered mode: operands carry object tickets, the slices
+    // admit same-object accesses in program order, and the gateways
+    // allocate window entries oldest-first with the ROB-head reserve.
+    // Partitioned traces skip that machinery; with one pipeline they
+    // keep the historical behavior bit-for-bit (pinned by goldens in
+    // tests/test_sharded_frontend.cc). Partitioned *multi-pipeline*
+    // traces still complete identically but route operands through
+    // the global directory now, so their NoC traffic and timing
+    // differ from the pre-shard per-pipeline hashing.
+    bool shared_data =
+        num_threads > 1 && !isDataPartitioned(trace, threadOf);
     // Sanity-check the trace against the hardware limits.
     for (const auto &task : trace.tasks) {
         if (task.operands.size() > layout::maxOperands) {
@@ -67,6 +76,9 @@ SystemBuilder::build()
     // Modules keep a reference to the config: hand them the copy the
     // System owns, not this builder's (which dies with the builder).
     const PipelineConfig &scfg = sys->cfg;
+    sys->shared = shared_data;
+    if (shared_data)
+        sys->registry.computeObjectTickets();
 
     // NoC: worker cores plus one master core per task-generating
     // thread; frontend tiles carry the gateways, TRSs, ORT/OVT pairs
@@ -81,30 +93,31 @@ SystemBuilder::build()
 
     NodeId sched_node = net.frontendNode(cfg.schedulerTile());
 
-    // Global node tables: TaskId::trs and VersionRef::ovt index
-    // modules across all pipelines.
+    // Global node tables: TaskId::trs, VersionRef::ovt and the
+    // directory shard index (PipelineConfig::shardOf) address modules
+    // across all pipelines.
     std::vector<NodeId> gw_nodes;
     std::vector<NodeId> trs_nodes;
+    std::vector<NodeId> ort_nodes;
     std::vector<NodeId> ovt_nodes;
     for (unsigned p = 0; p < pipes; ++p) {
         gw_nodes.push_back(net.frontendNode(cfg.gatewayTile(p)));
         for (unsigned i = 0; i < cfg.numTrs; ++i)
             trs_nodes.push_back(net.frontendNode(cfg.trsTile(i, p)));
-        for (unsigned i = 0; i < cfg.numOrt; ++i)
+        for (unsigned i = 0; i < cfg.numOrt; ++i) {
+            ort_nodes.push_back(net.frontendNode(cfg.ortTile(i, p)));
             ovt_nodes.push_back(net.frontendNode(cfg.ovtTile(i, p)));
+        }
     }
 
     for (unsigned p = 0; p < pipes; ++p) {
-        std::vector<NodeId> ort_nodes;
-        for (unsigned i = 0; i < cfg.numOrt; ++i)
-            ort_nodes.push_back(net.frontendNode(cfg.ortTile(i, p)));
-
         std::string suffix = pipes > 1 ? "p" + std::to_string(p) : "";
         auto gw = std::make_unique<Gateway>(
             "gateway" + suffix, sys->eq, net, gw_nodes[p], scfg,
             sys->registry, sys->stats);
         gw->setPeers(trs_nodes, ort_nodes,
-                     std::max(1u, threads_in_pipe[p]), p * cfg.numTrs);
+                     std::max(1u, threads_in_pipe[p]), p * cfg.numTrs,
+                     shared_data);
         sys->gateways.push_back(std::move(gw));
 
         for (unsigned i = 0; i < cfg.numTrs; ++i) {
@@ -113,22 +126,25 @@ SystemBuilder::build()
                 "trs" + std::to_string(g), sys->eq, net, trs_nodes[g],
                 g, scfg, sys->registry, sys->stats);
             trs->setPeers(gw_nodes[p], sched_node, trs_nodes,
-                          ovt_nodes);
+                          ovt_nodes,
+                          shared_data ? gw_nodes
+                                      : std::vector<NodeId>{});
             sys->trsModules.push_back(std::move(trs));
         }
 
         for (unsigned i = 0; i < cfg.numOrt; ++i) {
             unsigned g = p * cfg.numOrt + i;
             auto ort = std::make_unique<Ort>(
-                "ort" + std::to_string(g), sys->eq, net, ort_nodes[i],
+                "ort" + std::to_string(g), sys->eq, net, ort_nodes[g],
                 g, scfg, sys->stats);
-            ort->setPeers(gw_nodes[p], trs_nodes, ovt_nodes[g]);
+            ort->setPeers(gw_nodes, trs_nodes, ovt_nodes[g],
+                          shared_data);
             sys->ortModules.push_back(std::move(ort));
 
             auto ovt = std::make_unique<Ovt>(
                 "ovt" + std::to_string(g), sys->eq, net, ovt_nodes[g],
                 g, scfg, sys->stats, *sys->dma);
-            ovt->setPeers(ort_nodes[i], trs_nodes);
+            ovt->setPeers(ort_nodes[g], trs_nodes);
             sys->ovtModules.push_back(std::move(ovt));
         }
     }

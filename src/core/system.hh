@@ -1,11 +1,16 @@
 /**
  * @file
  * The composed task superscalar system. SystemBuilder assembles any
- * number of independent frontend pipelines (gateway + TRSs + ORT/OVT
- * pairs, paper section III-B's multi-threaded generation) plus the
- * shared backend (scheduler, worker cores), the two-level ring NoC
- * and the task-generating threads, all from a PipelineConfig. System
- * owns the assembled machine and runs traces to completion.
+ * number of frontend pipelines (gateway + TRSs + ORT/OVT pairs, paper
+ * section III-B's multi-threaded generation) plus the shared backend
+ * (scheduler, worker cores), the two-level ring NoC and the
+ * task-generating threads, all from a PipelineConfig. The pipelines'
+ * ORT/OVT pairs form one address-interleaved global directory
+ * (PipelineConfig::shardOf), so generating threads may share data:
+ * dependence and rename traffic then crosses pipelines over the ring,
+ * with per-object program order enforced by the ticket protocol (see
+ * core/protocol.hh). System owns the assembled machine and runs
+ * traces to completion.
  */
 
 #ifndef TSS_CORE_SYSTEM_HH
@@ -74,7 +79,9 @@ struct RunResult
 /**
  * True when no memory object is touched by tasks of two different
  * threads — the paper's data-partitioning requirement for multiple
- * task-generating threads (section III-B).
+ * task-generating threads (section III-B). The sharded directory
+ * lifts the requirement; SystemBuilder now uses this predicate only
+ * to decide whether the ordered-admission machinery is needed at all.
  */
 bool isDataPartitioned(const TaskTrace &trace,
                        const std::vector<unsigned> &thread_of);
@@ -117,6 +124,9 @@ class System
     /// [p*numOrt, (p+1)*numOrt).
     /// @{
     unsigned numPipelines() const { return cfg.numPipelines; }
+
+    /** True when the generating threads share data (ordered mode). */
+    bool sharedData() const { return shared; }
     Gateway &gateway(unsigned pipe = 0) { return *gateways.at(pipe); }
     Trs &trs(unsigned i) { return *trsModules.at(i); }
     Ort &ort(unsigned i) { return *ortModules.at(i); }
@@ -134,6 +144,7 @@ class System
 
     PipelineConfig cfg;
     const TaskTrace &trace;
+    bool shared = false; ///< threads share data; ordered mode active
 
     EventQueue eq;
     TaskRegistry registry;
@@ -154,8 +165,12 @@ class System
  * Composes a System from a PipelineConfig: N frontend pipelines
  * become a configuration choice instead of a code change. Generating
  * threads are assigned to pipelines round-robin (thread t feeds
- * pipeline t % numPipelines); with more than one thread the threads'
- * data must be partitioned (checked, fatal() otherwise).
+ * pipeline t % numPipelines). Threads may freely share data: the
+ * builder detects sharing and switches the machine into ordered mode
+ * (object tickets + oldest-first window allocation). Partitioned
+ * traces skip that machinery; single-pipeline ones behave
+ * bit-for-bit as before the directory was sharded, multi-pipeline
+ * ones now route operands through the global directory.
  */
 class SystemBuilder
 {

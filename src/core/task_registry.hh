@@ -34,12 +34,24 @@ struct TaskRecord
     unsigned core = ~0u;
 };
 
+/**
+ * Object ticket of one memory operand: its position in the object's
+ * program-order access sequence, as stamped by the task-creating
+ * runtime (see DecodeOperandMsg in core/protocol.hh).
+ */
+struct ObjectTicket
+{
+    std::uint32_t epoch = 0;      ///< preceding writes to the object
+    std::uint32_t priorReads = 0; ///< readers of the preceding epoch
+};
+
 /** Maps in-flight hardware task ids to trace indices and records. */
 class TaskRegistry
 {
   public:
     explicit TaskRegistry(const TaskTrace &task_trace)
-        : trace(task_trace), records(task_trace.size())
+        : trace(task_trace), records(task_trace.size()),
+          finishedFlags(task_trace.size(), 0)
     {
         byId.reserve(task_trace.size());
     }
@@ -87,10 +99,81 @@ class TaskRegistry
 
     const TaskTrace &taskTrace() const { return trace; }
 
+    /// @name Shared-data decode support. With several generating
+    /// threads over shared objects, the runtime stamps every memory
+    /// operand with an ObjectTicket and the machine circulates the
+    /// oldest-unfinished-task watermark (the task-level ROB head),
+    /// which lets the gateways keep window allocation deadlock-free.
+    /// @{
+
+    /** Precompute the per-object access tickets (program order). */
+    void
+    computeObjectTickets()
+    {
+        if (!tickets.empty() || trace.size() == 0)
+            return;
+        struct Seq
+        {
+            std::uint32_t epoch = 0;
+            std::uint32_t readers = 0;
+        };
+        std::unordered_map<std::uint64_t, Seq> objects;
+        tickets.resize(trace.size());
+        for (std::size_t t = 0; t < trace.size(); ++t) {
+            const auto &ops = trace.tasks[t].operands;
+            tickets[t].assign(ops.size(), ObjectTicket{});
+            for (std::size_t i = 0; i < ops.size(); ++i) {
+                if (!isMemoryOperand(ops[i].dir))
+                    continue;
+                Seq &seq = objects[ops[i].addr];
+                tickets[t][i] = {seq.epoch, seq.readers};
+                if (writesObject(ops[i].dir)) {
+                    ++seq.epoch;
+                    seq.readers = 0;
+                } else {
+                    ++seq.readers;
+                }
+            }
+        }
+    }
+
+    bool hasObjectTickets() const { return !tickets.empty(); }
+
+    ObjectTicket
+    objectTicket(std::uint32_t trace_index, std::size_t operand) const
+    {
+        return tickets[trace_index][operand];
+    }
+
+    /** A task's kernel retired (called by its TRS). */
+    void
+    markFinished(std::uint32_t trace_index)
+    {
+        finishedFlags[trace_index] = 1;
+        while (minUnfinished < finishedFlags.size() &&
+               finishedFlags[minUnfinished]) {
+            ++minUnfinished;
+        }
+    }
+
+    /** Smallest trace index whose task has not finished. */
+    std::uint32_t
+    minUnfinishedIndex() const
+    {
+        return static_cast<std::uint32_t>(minUnfinished);
+    }
+    /// @}
+
   private:
     const TaskTrace &trace;
     std::vector<TaskRecord> records;
     std::unordered_map<TaskId, std::uint32_t> byId;
+
+    /// Per-task, per-operand object tickets (shared-data mode only).
+    std::vector<std::vector<ObjectTicket>> tickets;
+
+    std::vector<char> finishedFlags;
+    std::size_t minUnfinished = 0;
 };
 
 } // namespace tss

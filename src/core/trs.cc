@@ -301,6 +301,17 @@ Trs::handleTaskFinished(TaskFinishedMsg &msg)
     ++stats.tasksFinished;
     stats.tasksInFlight.add(curCycle(), -1.0);
 
+    // Retiring the watermark task re-arms every gateway's ROB-head
+    // reserve: broadcast the advance (shared-data mode), or a
+    // reserve-gated allocation on another pipeline would never learn
+    // its task became the machine-wide oldest (missed wakeup).
+    std::uint32_t old_min = registry.minUnfinishedIndex();
+    registry.markFinished(slot->traceIndex);
+    if (registry.minUnfinishedIndex() != old_min) {
+        for (NodeId gw : gatewayBroadcast)
+            sendMsg(gw, std::make_unique<WatermarkAdvanceMsg>());
+    }
+
     // Walk the operands: publish produced data to waiting chains and
     // release version usage at the OVTs.
     Cycle cost = cfg.packetLatency *

@@ -30,6 +30,7 @@ struct FrontendStats
     Counter dataReadyForwards;  ///< chain hops traversed
     Counter tombstoneReplies;   ///< registrations to finished tasks
     Counter gatewayStallEvents;
+    Counter decodeDeferrals; ///< out-of-ticket-order operands parked
     Cycle gatewayStallCycles = 0;
     Cycle sourceStallCycles = 0;
     Distribution chainConsumers; ///< consumers chained per version
@@ -52,15 +53,23 @@ class Trs : public FrontendModule
         unsigned trs_index, const PipelineConfig &config,
         TaskRegistry &task_registry, FrontendStats &frontend_stats);
 
-    /** Resolve frontend tile indices to NoC node ids (set by wiring). */
+    /**
+     * Resolve frontend tile indices to NoC node ids (set by wiring).
+     * @p all_gateways, when non-empty (shared-data mode), receives a
+     * WatermarkAdvance broadcast whenever retiring a task advances
+     * the machine-wide oldest-unfinished watermark — the wakeup the
+     * gateways' reserve-gated allocation relies on.
+     */
     void
     setPeers(NodeId gateway, NodeId scheduler,
-             std::vector<NodeId> trs_nodes, std::vector<NodeId> ovt_nodes)
+             std::vector<NodeId> trs_nodes, std::vector<NodeId> ovt_nodes,
+             std::vector<NodeId> all_gateways = {})
     {
         gatewayNode = gateway;
         schedulerNode = scheduler;
         trsNodes = std::move(trs_nodes);
         ovtNodes = std::move(ovt_nodes);
+        gatewayBroadcast = std::move(all_gateways);
     }
 
     std::uint32_t freeBlocks() const { return freeList.numFree(); }
@@ -132,6 +141,7 @@ class Trs : public FrontendModule
     NodeId schedulerNode = invalidNode;
     std::vector<NodeId> trsNodes;
     std::vector<NodeId> ovtNodes;
+    std::vector<NodeId> gatewayBroadcast; ///< shared-data mode only
 
     /// Live slots keyed by main-block index.
     std::unordered_map<std::uint32_t, TaskSlot> slots;

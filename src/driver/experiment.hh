@@ -24,6 +24,16 @@ namespace tss
 RunResult runHardware(const PipelineConfig &config,
                       const TaskTrace &trace);
 
+/**
+ * Run @p trace with @p num_threads task-generating threads assigned
+ * round-robin (task t emitted by thread t % num_threads) — the
+ * shared-data multi-pipeline configuration: threads need not own
+ * disjoint objects, the sharded directory orders shared accesses.
+ */
+RunResult runHardwareThreads(const PipelineConfig &config,
+                             const TaskTrace &trace,
+                             unsigned num_threads);
+
 /** Run @p trace through the software-runtime baseline. */
 SwRunResult runSoftware(const SwRuntimeConfig &config,
                         const TaskTrace &trace);

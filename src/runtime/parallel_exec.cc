@@ -78,8 +78,14 @@ class WorkDeque
                    "work deque overflow");
         slots[static_cast<std::size_t>(b) & mask].store(
             value, std::memory_order_relaxed);
-        std::atomic_thread_fence(std::memory_order_release);
-        bottom.store(b + 1, std::memory_order_relaxed);
+        // The paper publishes with fence(release) + relaxed store;
+        // a release store is at least as strong (and free on x86),
+        // and unlike the fence it is modeled by ThreadSanitizer —
+        // with the fence form, TSan cannot see the happens-before
+        // edge from the enabling task to its stolen successor and
+        // (rarely, steal-timing-dependent) reports the successor's
+        // first rename-buffer access as a race.
+        bottom.store(b + 1, std::memory_order_release);
     }
 
     /** Owner only: take the most recently pushed task. */

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "sim/hash.hh"
 #include "sim/logging.hh"
 
 namespace tss::starss
@@ -46,6 +47,14 @@ RenameStore::RenameStore(const TaskTrace &task_trace)
         finalVersion.emplace(addr, obj.curVersion);
 
     buffers.resize(static_cast<std::size_t>(next_version));
+}
+
+unsigned
+RenameStore::ownerShard(std::int64_t version,
+                        unsigned total_shards) const
+{
+    return static_cast<unsigned>(mixAddress(objectAddress(version)) %
+                                 total_shards);
 }
 
 RenameStore::VersionBuffer &

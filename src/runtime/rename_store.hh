@@ -79,6 +79,25 @@ class RenameStore
     {
         return writeVersionOf[t][operand];
     }
+
+    /** Home address of the object a version belongs to. */
+    std::uint64_t
+    objectAddress(std::int64_t version) const
+    {
+        return versionObject[static_cast<std::size_t>(version)].first;
+    }
+
+    /**
+     * Directory slice owning a version under a machine with
+     * @p total_shards ORT/OVT pairs — the software mirror of the
+     * sharded version-ownership rule (PipelineConfig::shardOf).
+     * Version identity is assigned in program order and therefore
+     * shard-count invariant; only *ownership* moves with the shard
+     * count, which is why the ParallelExecutor's differential oracle
+     * holds bit-for-bit across numPipelines.
+     */
+    unsigned ownerShard(std::int64_t version,
+                        unsigned total_shards) const;
     /// @}
 
   private:

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * The one address hash of the frontend. Object base addresses are
+ * spread over directory slices (gateway routing), and over the sets
+ * inside a slice (ORT associative lookup), with the same splitmix64
+ * finalizer — shared here so the gateway, the ORTs, the config's
+ * shardOf() and the software RenameStore mirror can never disagree
+ * about who owns an object.
+ */
+
+#ifndef TSS_SIM_HASH_HH
+#define TSS_SIM_HASH_HH
+
+#include <cstdint>
+
+namespace tss
+{
+
+/** splitmix64 finalizer: decorrelates object base addresses. */
+constexpr std::uint64_t
+mixAddress(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace tss
+
+#endif // TSS_SIM_HASH_HH

@@ -212,6 +212,56 @@ TEST(FuzzGraph, PipelineOrdersAreTopologicalAndExecutionIsExact)
 }
 
 /**
+ * The sharded frontend under fuzz: the same random shared-object
+ * programs, split round-robin over generating threads (heavy
+ * cross-thread sharing by construction — the configuration the
+ * pre-shard SystemBuilder rejected), decoded by 1/2/4-pipeline
+ * machines. Start orders must stay topological and functional replay
+ * of every decision must be bit-identical to sequential execution,
+ * independent of the shard count.
+ */
+TEST(FuzzGraph, ShardedPipelinesStayExactUnderSharing)
+{
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        FuzzProgram reference(seed);
+        reference.context().runSequential();
+        std::vector<std::uint8_t> expected = reference.snapshot();
+
+        for (unsigned pipes : {1u, 2u, 4u}) {
+            FuzzProgram simulated(seed);
+            const TaskTrace &trace = simulated.context().trace();
+
+            PipelineConfig cfg;
+            cfg.numCores = 8;
+            cfg.numTrs = 2;
+            cfg.numOrt = pipes == 1 ? 2 : 1;
+            cfg.numPipelines = pipes;
+
+            std::vector<unsigned> thread_of(trace.size());
+            for (std::size_t t = 0; t < trace.size(); ++t)
+                thread_of[t] = static_cast<unsigned>(t % 3);
+            auto sys = SystemBuilder(cfg, trace)
+                           .threads(std::move(thread_of))
+                           .build();
+            RunResult decision = sys->run(4'000'000'000ULL);
+
+            DepGraph renamed =
+                DepGraph::build(trace, Semantics::Renamed);
+            EXPECT_TRUE(renamed.isTopologicalOrder(decision.startOrder))
+                << "seed " << seed << ", " << pipes
+                << " pipelines: start order violates the renamed "
+                << "dependency graph";
+
+            FunctionalExecutor fexec(simulated.context());
+            fexec.execute(decision.startOrder);
+            EXPECT_EQ(simulated.snapshot(), expected)
+                << "seed " << seed << ", " << pipes
+                << " pipelines: functional replay diverged";
+        }
+    }
+}
+
+/**
  * The renamed graph admits orders the sequential graph forbids; the
  * generator must actually produce renaming opportunities or the fuzz
  * proves less than it claims.

@@ -1,0 +1,381 @@
+/**
+ * @file
+ * The address-sharded global directory: shared-data multi-thread
+ * traces through SystemBuilder (the configuration the pre-shard
+ * frontend rejected), shard routing against PipelineConfig::shardOf,
+ * decode scaling across pipelines, deadlock-freedom of the ticket
+ * protocol under window pressure, the differential oracle across
+ * shard counts, and a golden regression pinning numPipelines=1
+ * behavior bit-identical to the pre-shard frontend.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/system.hh"
+#include "driver/experiment.hh"
+#include "graph/dep_graph.hh"
+#include "runtime/parallel_exec.hh"
+#include "runtime/rename_store.hh"
+#include "workload/address_space.hh"
+#include "workload/builder.hh"
+#include "workload/starss_programs.hh"
+#include "workload/workload.hh"
+
+namespace tss
+{
+namespace
+{
+
+std::vector<unsigned>
+roundRobin(std::size_t tasks, unsigned threads)
+{
+    std::vector<unsigned> thread_of(tasks);
+    for (std::size_t t = 0; t < tasks; ++t)
+        thread_of[t] = static_cast<unsigned>(t % threads);
+    return thread_of;
+}
+
+std::unique_ptr<starss::RealProgram>
+oracleCholesky(std::uint64_t seed)
+{
+    return starss::makeCholeskyProgram(seed, 8, 8);
+}
+
+std::unique_ptr<starss::RealProgram>
+oracleJacobi(std::uint64_t seed)
+{
+    return starss::makeJacobiProgram(seed, 12, 32, 6);
+}
+
+/**
+ * Golden regression: with one pipeline the sharded directory must
+ * reproduce the pre-shard frontend bit for bit. The constants were
+ * captured from the pre-shard build (commit 49f6cf0) on the same
+ * workload generators; every counter is deterministic.
+ */
+TEST(ShardedFrontend, SinglePipelineBitIdenticalToPreShard)
+{
+    struct Golden
+    {
+        const char *workload;
+        double scale;
+        std::uint64_t seed;
+        unsigned cores;
+        unsigned numTrs;
+        Cycle makespan;
+        std::uint64_t events;
+        std::uint64_t messages;
+        std::uint64_t versionsCreated;
+        std::uint64_t versionsRenamed;
+        std::uint64_t dmaWritebacks;
+    };
+    const Golden goldens[] = {
+        {"Cholesky", 0.05, 1, 64, 8,
+         4477961, 124240, 48587, 1771, 0, 0},
+        {"H264", 0.05, 1, 32, 4,
+         76388764, 560703, 211754, 4002, 4002, 4002},
+        {"MatMul", 0.1, 7, 16, 8,
+         6186164, 101277, 39083, 1573, 0, 0},
+    };
+
+    for (const Golden &g : goldens) {
+        TaskTrace trace = makeWorkload(g.workload, g.scale, g.seed);
+        PipelineConfig cfg = paperConfig(g.cores);
+        cfg.numTrs = g.numTrs;
+        RunResult r = runHardware(cfg, trace);
+        EXPECT_EQ(r.makespan, g.makespan) << g.workload;
+        EXPECT_EQ(r.eventsExecuted, g.events) << g.workload;
+        EXPECT_EQ(r.messagesOnNoc, g.messages) << g.workload;
+        EXPECT_EQ(r.versionsCreated, g.versionsCreated) << g.workload;
+        EXPECT_EQ(r.versionsRenamed, g.versionsRenamed) << g.workload;
+        EXPECT_EQ(r.dmaWritebacks, g.dmaWritebacks) << g.workload;
+    }
+}
+
+/**
+ * Two generating threads writing the same objects — the exact trace
+ * shape SystemBuilder::build() used to fatal() on — now completes,
+ * in dependence order, on one and several pipelines.
+ */
+TEST(ShardedFrontend, SharedDataThreadsComplete)
+{
+    TaskTrace trace;
+    trace.name = "shared-chain";
+    trace.addKernel("k");
+    TaskBuilder b(trace);
+    AddressSpace mem(0x100000);
+    std::vector<std::uint64_t> objs;
+    for (int i = 0; i < 6; ++i)
+        objs.push_back(mem.alloc(512));
+    // Every task reads a neighbour's object and updates its own:
+    // heavy cross-thread sharing under a round-robin thread split.
+    for (unsigned i = 0; i < 120; ++i) {
+        b.begin(0, 600)
+            .in(objs[i % objs.size()], 512)
+            .inout(objs[(i + 1) % objs.size()], 512);
+        b.commit();
+    }
+
+    for (unsigned pipes : {1u, 2u, 4u}) {
+        PipelineConfig cfg;
+        cfg.numCores = 16;
+        cfg.numTrs = 2;
+        cfg.numOrt = 1;
+        cfg.trsTotalBytes = 512 * 1024;
+        cfg.ortTotalBytes = 64 * 1024;
+        cfg.ovtTotalBytes = 64 * 1024;
+        cfg.numPipelines = pipes;
+
+        auto sys = SystemBuilder(cfg, trace)
+                       .threads(roundRobin(trace.size(), 2))
+                       .build();
+        EXPECT_TRUE(sys->sharedData());
+        RunResult r = sys->run(1'000'000'000);
+        EXPECT_EQ(r.numTasks, trace.size());
+        DepGraph graph = DepGraph::build(trace, Semantics::Renamed);
+        EXPECT_TRUE(graph.isTopologicalOrder(r.startOrder))
+            << pipes << " pipelines";
+    }
+}
+
+/** Operands land only on the directory slice shardOf() names. */
+TEST(ShardedFrontend, RoutingFollowsShardOf)
+{
+    PipelineConfig cfg;
+    cfg.numCores = 8;
+    cfg.numTrs = 2;
+    cfg.numOrt = 2;
+    cfg.numPipelines = 2;
+    cfg.trsTotalBytes = 512 * 1024;
+    cfg.ortTotalBytes = 64 * 1024;
+    cfg.ovtTotalBytes = 64 * 1024;
+
+    // Addresses owned exclusively by the last slice (on pipeline 1).
+    unsigned target = cfg.totalOrt() - 1;
+    AddressSpace mem(0x5000000);
+    TaskTrace trace;
+    trace.name = "one-shard";
+    trace.addKernel("k");
+    TaskBuilder b(trace);
+    unsigned placed = 0;
+    while (placed < 40) {
+        std::uint64_t addr = mem.alloc(256);
+        if (cfg.shardOf(addr) != target)
+            continue;
+        b.begin(0, 300).out(addr, 256);
+        b.commit();
+        ++placed;
+    }
+
+    auto sys = SystemBuilder(cfg, trace)
+                   .threads(roundRobin(trace.size(), 2))
+                   .build();
+    RunResult r = sys->run(1'000'000'000);
+    EXPECT_EQ(r.numTasks, trace.size());
+
+    // Only the owning slice saw directory traffic; the thread split
+    // guarantees both gateways (pipelines) fed it.
+    for (unsigned i = 0; i < cfg.totalOrt(); ++i) {
+        if (i == target)
+            EXPECT_GT(sys->ort(i).packetsProcessed(), 0u);
+        else
+            EXPECT_EQ(sys->ort(i).packetsProcessed(), 0u);
+    }
+}
+
+/**
+ * Ticket-protocol liveness under window pressure: an 8-block TRS
+ * window, one thread streaming private tasks while the other floods
+ * a hot-object chain whose missing link belongs to the slow thread —
+ * the fast thread's tail captures nearly the whole window while
+ * ticket-blocked on a task that has not even been submitted yet.
+ * Progress relies on the ordered-mode allocation discipline
+ * (oldest-buffered-first, plus the ROB-head reserve of the slice's
+ * first TRS that only the machine-wide oldest unfinished task may
+ * consume). The run must complete, in dependence order, with the
+ * window measurably saturated (allocWaitCycles dominating the
+ * makespan proves the jam actually formed).
+ */
+TEST(ShardedFrontend, SharedWindowPressureDoesNotDeadlock)
+{
+    TaskTrace trace;
+    trace.name = "pressure";
+    trace.addKernel("k");
+    TaskBuilder b(trace);
+    AddressSpace mem(0x2000000);
+    std::uint64_t hot = mem.alloc(512);
+
+    std::vector<unsigned> thread_of;
+    // Thread 0: a long stream of cheap private tasks that keeps its
+    // hot-chain link ~20k cycles behind the fast thread.
+    for (unsigned i = 0; i < 200; ++i) {
+        b.begin(0, 50).out(mem.alloc(256), 256);
+        b.commit();
+        thread_of.push_back(0);
+    }
+    // Thread 1: the head of the hot chain...
+    for (unsigned i = 0; i < 10; ++i) {
+        b.begin(0, 50).inout(hot, 512);
+        b.commit();
+        thread_of.push_back(1);
+    }
+    // ...thread 0's late link...
+    b.begin(0, 50).inout(hot, 512);
+    b.commit();
+    thread_of.push_back(0);
+    // ...and a long tail that piles into the window behind the link.
+    for (unsigned i = 0; i < 100; ++i) {
+        b.begin(0, 50).inout(hot, 512);
+        b.commit();
+        thread_of.push_back(1);
+    }
+
+    PipelineConfig cfg;
+    cfg.numCores = 4;
+    cfg.numTrs = 1;
+    cfg.numOrt = 1;
+    cfg.numPipelines = 1;
+    cfg.trsTotalBytes = 8 * 128; // an 8-block window
+    cfg.ortTotalBytes = 64 * 1024;
+    cfg.ovtTotalBytes = 64 * 1024;
+
+    auto sys =
+        SystemBuilder(cfg, trace).threads(std::move(thread_of)).build();
+    EXPECT_TRUE(sys->sharedData());
+    RunResult r = sys->run(2'000'000'000);
+    EXPECT_EQ(r.numTasks, trace.size());
+    DepGraph graph = DepGraph::build(trace, Semantics::Renamed);
+    EXPECT_TRUE(graph.isTopologicalOrder(r.startOrder));
+    // The window really was the bottleneck.
+    EXPECT_GT(r.allocWaitCycles,
+              static_cast<Cycle>(0.5 * static_cast<double>(r.makespan)));
+}
+
+/**
+ * Cross-pipeline watermark wakeup: windows so small (4 blocks) that
+ * a non-oldest task can never allocate (1 block + 4-block reserve >
+ * capacity) — every allocation must go through the ROB-head waiver,
+ * and the task chain alternates pipelines, so each retirement must
+ * wake the *other* pipeline's gateway (WatermarkAdvance broadcast).
+ * Without the broadcast this deadlocks with the event queue drained.
+ */
+TEST(ShardedFrontend, WatermarkAdvanceWakesOtherPipelines)
+{
+    TaskTrace trace;
+    trace.name = "watermark";
+    trace.addKernel("k");
+    TaskBuilder b(trace);
+    AddressSpace mem(0x2000000);
+    std::uint64_t hot = mem.alloc(512);
+    for (unsigned i = 0; i < 40; ++i) {
+        b.begin(0, 100).inout(hot, 512);
+        b.commit();
+    }
+
+    PipelineConfig cfg;
+    cfg.numCores = 4;
+    cfg.numTrs = 1;
+    cfg.numOrt = 1;
+    cfg.numPipelines = 2;
+    cfg.trsTotalBytes = 4 * 128 * 2; // 4-block window per pipeline
+    cfg.ortTotalBytes = 64 * 1024;
+    cfg.ovtTotalBytes = 64 * 1024;
+
+    auto sys = SystemBuilder(cfg, trace)
+                   .threads(roundRobin(trace.size(), 2))
+                   .build();
+    RunResult r = sys->run(1'000'000'000);
+    EXPECT_EQ(r.numTasks, trace.size());
+    DepGraph graph = DepGraph::build(trace, Semantics::Renamed);
+    EXPECT_TRUE(graph.isTopologicalOrder(r.startOrder));
+}
+
+/** Decode throughput must actually scale with added pipelines. */
+TEST(ShardedFrontend, DecodeScalesWithPipelines)
+{
+    TaskTrace trace = makeWorkload("Cholesky", 0.08, 1);
+
+    double decode1 = 0, decode4 = 0;
+    for (unsigned pipes : {1u, 4u}) {
+        PipelineConfig cfg = paperConfig(64);
+        cfg.numPipelines = pipes;
+        RunResult r = runHardwareThreads(cfg, trace, 8);
+        (pipes == 1 ? decode1 : decode4) = r.decodeRateCycles;
+    }
+    EXPECT_GT(decode1, 0.0);
+    // Acceptance floor: >= 1.5x decode throughput from 1 -> 4.
+    EXPECT_LT(decode4, decode1 / 1.5);
+}
+
+/**
+ * The differential oracle across shard counts: the same shared-data
+ * real-kernel programs, decoded by 1/2/4-pipeline machines, replayed
+ * on real threads — all bit-identical to sequential execution.
+ */
+TEST(ShardedFrontend, OracleBitIdenticalAcrossShardCounts)
+{
+    struct Prog
+    {
+        const char *name;
+        std::unique_ptr<starss::RealProgram> (*make)(std::uint64_t);
+    };
+    const Prog programs[] = {
+        {"cholesky", oracleCholesky},
+        {"jacobi", oracleJacobi},
+    };
+
+    for (const Prog &prog : programs) {
+        auto reference = prog.make(3);
+        reference->context().runSequential();
+        std::vector<std::uint8_t> expected = reference->snapshot();
+
+        for (unsigned pipes : {1u, 2u, 4u}) {
+            auto program = prog.make(3);
+            PipelineConfig cfg = paperConfig(32);
+            cfg.numPipelines = pipes;
+            RunResult decision = runHardwareThreads(
+                cfg, program->context().trace(), 4);
+
+            starss::ParallelExecutor exec(program->context());
+            exec.runReplay(decision);
+            EXPECT_EQ(program->snapshot(), expected)
+                << prog.name << " diverged at " << pipes
+                << " pipelines";
+        }
+    }
+}
+
+/**
+ * The software mirror and the hardware config agree on version
+ * ownership: every written version's owning slice is shardOf() of
+ * its object's home address, at any shard count.
+ */
+TEST(ShardedFrontend, RenameStoreMirrorsShardOwnership)
+{
+    auto program = starss::makeCholeskyProgram(1, 6, 8);
+    const TaskTrace &trace = program->context().trace();
+    starss::RenameStore store(trace);
+
+    for (unsigned pipes : {1u, 2u, 4u}) {
+        PipelineConfig cfg;
+        cfg.numOrt = 2;
+        cfg.numPipelines = pipes;
+        for (std::uint32_t t = 0;
+             t < static_cast<std::uint32_t>(trace.size()); ++t) {
+            const auto &ops = trace.tasks[t].operands;
+            for (std::size_t i = 0; i < ops.size(); ++i) {
+                if (!isMemoryOperand(ops[i].dir) ||
+                    !writesObject(ops[i].dir))
+                    continue;
+                std::int64_t v = store.writeVersion(t, i);
+                ASSERT_GE(v, 0);
+                EXPECT_EQ(store.ownerShard(v, cfg.totalOrt()),
+                          cfg.shardOf(ops[i].addr));
+                EXPECT_EQ(store.objectAddress(v), ops[i].addr);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace tss
