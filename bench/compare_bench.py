@@ -21,10 +21,24 @@ Two benchmark families are gated:
   if any parallel execution is not bit-identical to sequential
   execution, so correctness is already enforced upstream.
 
+* noc -- ``fig17_noc_contention --quick --csv``: the topology x
+  placement x batching sweep and the ticket-protocol ablation on the
+  synthetic ``wide`` program, whose operand addresses come from the
+  deterministic AddressSpace (the cholesky/jacobi reference rows use
+  real heap addresses and therefore vary with ASLR — they are
+  *dropped* from the JSON). Decode cycles and message counts gate
+  against the baseline; the sweep's acceptance shape (spread degrades
+  decode, batching recovers it) is enforced by the bench itself,
+  which exits non-zero — so a shape regression already fails the
+  capture step. The compare step additionally re-checks the recorded
+  shape and that ordered admission is never cheaper than the
+  idealAdmission oracle at the multi-pipeline point.
+
 Usage:
   compare_bench.py capture-kernel   --bench PATH --out FRESH.json
   compare_bench.py capture-parallel --bench PATH --out FRESH.json
-  compare_bench.py compare --kind {kernel,parallel} \
+  compare_bench.py capture-noc      --bench PATH --out FRESH.json
+  compare_bench.py compare --kind {kernel,parallel,noc} \
       --baseline BASE.json --fresh FRESH.json [--tolerance 0.15]
 
 ``capture-*`` runs the benchmark and writes a fresh JSON (uploaded as
@@ -113,6 +127,48 @@ def capture_kernel(bench, out):
     print(f"captured kernel metrics in {wall:.1f}s -> {out}")
 
 
+def parse_fig17_csv(text):
+    """fig17 CSV -> {"sweep": {...}, "ticket": {...}} (wide only)."""
+    sweep = {}
+    ticket = {}
+    for line in text.splitlines():
+        cells = line.strip().split(",")
+        if cells[0] == "sweep" and cells[1] == "wide":
+            _, _, topo, place, batch, _tasks, decode, _makespan, \
+                messages, lane_wait, batch_fill = cells
+            key = f"{topo}/{place}/{'batch' if batch == '1' else 'solo'}"
+            sweep[key] = {
+                "decode_cy": float(decode),
+                "messages": int(messages),
+                "lane_wait_cy": int(lane_wait),
+                "batch_fill": float(batch_fill),
+            }
+        elif cells[0] == "ticket" and cells[1] == "wide":
+            _, _, pipes, real, ideal, overhead, deferrals = cells
+            ticket[pipes] = {
+                "decode_real_cy": float(real),
+                "decode_ideal_cy": float(ideal),
+                "overhead_pct": float(overhead),
+                "deferrals": int(deferrals),
+            }
+    return {"sweep": sweep, "ticket": ticket}
+
+
+def capture_noc(bench, out):
+    begin = time.monotonic()
+    result = run_bench([bench, "--quick", "--csv"])
+    wall = time.monotonic() - begin
+    fresh = {
+        "machine": machine_fingerprint(),
+        "fig17_quick_wall_seconds": round(wall, 3),
+        "fig17_quick": parse_fig17_csv(result.stdout),
+    }
+    with open(out, "w") as f:
+        json.dump(fresh, f, indent=2)
+        f.write("\n")
+    print(f"captured noc metrics in {wall:.1f}s -> {out}")
+
+
 def capture_parallel(bench, out):
     result = run_bench([bench])
     fresh = json.loads(result.stdout)
@@ -193,17 +249,70 @@ def compare_parallel(baseline, fresh, gate):
                    higher_is_better=True)
 
 
+def compare_noc(baseline, fresh, gate):
+    base = baseline["fig17_quick"]
+    new = fresh["fig17_quick"]
+    for key, cell in base["sweep"].items():
+        if key not in new["sweep"]:
+            gate.failures.append(f"sweep {key} missing")
+            continue
+        gate.check(f"sweep {key} decode cy/task",
+                   new["sweep"][key]["decode_cy"], cell["decode_cy"],
+                   higher_is_better=False)
+        gate.check(f"sweep {key} messages",
+                   new["sweep"][key]["messages"], cell["messages"],
+                   higher_is_better=False)
+    for pipes, cell in base["ticket"].items():
+        if pipes not in new["ticket"]:
+            gate.failures.append(f"ticket {pipes}p missing")
+            continue
+        gate.check(f"ticket {pipes}p real decode cy/task",
+                   new["ticket"][pipes]["decode_real_cy"],
+                   cell["decode_real_cy"], higher_is_better=False)
+
+    # Acceptance shape, re-checked on the recorded numbers: a spread
+    # floorplan costs decode throughput, batching recovers part of
+    # it, and the real ordered-admission protocol is never cheaper
+    # than its zero-cost oracle at the multi-pipeline point.
+    sweep = new["sweep"]
+    try:
+        adjacent = sweep["ring/adjacent/solo"]["decode_cy"]
+        spread = sweep["ring/spread/solo"]["decode_cy"]
+        spread_b = sweep["ring/spread/batch"]["decode_cy"]
+        if not spread > adjacent:
+            gate.failures.append(
+                f"shape: spread ({spread}) did not degrade decode "
+                f"vs adjacent ({adjacent})")
+        if not spread_b < spread:
+            gate.failures.append(
+                f"shape: batching ({spread_b}) did not recover "
+                f"decode vs spread ({spread})")
+        multi = max(new["ticket"], key=int)
+        real = new["ticket"][multi]["decode_real_cy"]
+        ideal = new["ticket"][multi]["decode_ideal_cy"]
+        if not real >= ideal:
+            gate.failures.append(
+                f"shape: ordered admission ({real}) beat its "
+                f"zero-cost oracle ({ideal}) at {multi}p")
+    except KeyError as missing:
+        gate.failures.append(f"shape: cell {missing} missing")
+    except ValueError:
+        # max() over an empty ticket section: the CSV drifted and
+        # parse_fig17_csv found no wide ticket rows at all.
+        gate.failures.append("shape: ticket section empty")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="cmd", required=True)
 
-    for name in ("capture-kernel", "capture-parallel"):
+    for name in ("capture-kernel", "capture-parallel", "capture-noc"):
         p = sub.add_parser(name)
         p.add_argument("--bench", required=True)
         p.add_argument("--out", required=True)
 
     p = sub.add_parser("compare")
-    p.add_argument("--kind", choices=("kernel", "parallel"),
+    p.add_argument("--kind", choices=("kernel", "parallel", "noc"),
                    required=True)
     p.add_argument("--baseline", required=True)
     p.add_argument("--fresh", required=True)
@@ -216,6 +325,9 @@ def main():
     if args.cmd == "capture-parallel":
         capture_parallel(args.bench, args.out)
         return 0
+    if args.cmd == "capture-noc":
+        capture_noc(args.bench, args.out)
+        return 0
 
     with open(args.baseline) as f:
         baseline = json.load(f)
@@ -226,6 +338,8 @@ def main():
           f"(tolerance +/-{gate.tolerance:.0%})")
     if args.kind == "kernel":
         compare_kernel(baseline, fresh, gate)
+    elif args.kind == "noc":
+        compare_noc(baseline, fresh, gate)
     else:
         compare_parallel(baseline, fresh, gate)
     if gate.failures:

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * NoC contention sweep ("figure 17" — beyond the paper): how much of
+ * the sharded frontend's multi-pipeline decode scaling survives
+ * realistic interconnect distances, and how much gateway-side packet
+ * batching buys back.
+ *
+ * Panel 1 sweeps topology (ring / 2D mesh / fixed-latency oracle) x
+ * station placement (adjacent / spread / random, noc/placement.hh) x
+ * operand batching (64 B DecodeBatch packets) with slice packet
+ * credits enabled (PipelineConfig::slicePacketCredits), so the
+ * gateway->slice->gateway round trip is on the decode path. Programs:
+ *
+ *  - "wide": a deterministic synthetic shared-data program of
+ *    12-operand tasks over a small object pool — the ROADMAP's "wide
+ *    tasks" regime where several operands of a task land on the same
+ *    slice. This program carries the acceptance-shape gates: spread
+ *    placement must degrade decode throughput vs adjacent, and
+ *    batching under spread must recover a measurable fraction.
+ *  - blocked Cholesky and Jacobi (the shared-data real programs of
+ *    fig16): realistic narrow-task reference rows. Their tasks have
+ *    3-5 operands over totalOrt slices, so batches rarely fill —
+ *    they show where batching does *not* pay.
+ *
+ * Panel 2 is the ticket-protocol cost ablation (ROADMAP item): the
+ * same programs decoded with the real ordered-admission protocol vs
+ * the idealAdmission oracle that admits operands at zero protocol
+ * cost (FrontendStats::decodeDeferrals counts the parked operands).
+ * Oracle decisions are never replayed — see PipelineConfig.
+ *
+ * Every non-oracle decision is checked against the renamed
+ * dependency graph (start order must be topological) and the bench
+ * exits non-zero on violation or on a failed shape gate. All
+ * simulated metrics are deterministic, so CI gates them against
+ * BENCH_noc.json via bench/compare_bench.py.
+ *
+ * Usage: fig17_noc_contention [--quick|--full] [--csv]
+ *        [--pipes=N] [--gen-threads=N] [--credits=N]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "driver/cli.hh"
+#include "driver/experiment.hh"
+#include "driver/table.hh"
+#include "graph/dep_graph.hh"
+#include "sim/random.hh"
+#include "workload/address_space.hh"
+#include "workload/builder.hh"
+#include "workload/starss_programs.hh"
+
+namespace
+{
+
+/**
+ * Deterministic wide-task shared-data trace: every task reads 9 and
+ * writes 3 of a 96-object pool. With 8 generating threads splitting
+ * the stream round-robin, the objects are heavily shared across
+ * threads (ordered decode) and each task has several operands per
+ * directory slice (batchable).
+ */
+tss::TaskTrace
+makeWideTrace(unsigned tasks, std::uint64_t seed)
+{
+    tss::TaskTrace trace;
+    trace.name = "wide";
+    trace.addKernel("wide");
+    tss::TaskBuilder b(trace);
+    tss::AddressSpace mem(0x40000000);
+    std::vector<std::uint64_t> objs;
+    for (unsigned i = 0; i < 96; ++i)
+        objs.push_back(mem.alloc(512));
+
+    tss::Rng rng(seed);
+    constexpr unsigned reads = 9, writes = 3;
+    for (unsigned t = 0; t < tasks; ++t) {
+        std::vector<unsigned> picks;
+        while (picks.size() < reads + writes) {
+            auto cand = static_cast<unsigned>(rng.range(objs.size()));
+            bool dup = false;
+            for (unsigned p : picks)
+                dup |= p == cand;
+            if (!dup)
+                picks.push_back(cand);
+        }
+        b.begin(0, static_cast<tss::Cycle>(rng.rangeInclusive(300, 600)));
+        for (unsigned i = 0; i < reads; ++i)
+            b.in(objs[picks[i]], 512);
+        for (unsigned i = 0; i < writes; ++i)
+            b.out(objs[picks[reads + i]], 512);
+        b.commit();
+    }
+    return trace;
+}
+
+struct SweepProg
+{
+    std::string name;
+    tss::TaskTrace trace;
+    bool gated; ///< carries the acceptance-shape checks
+};
+
+struct SweepPoint
+{
+    tss::TopologyKind topology;
+    tss::PlacementKind placement;
+    bool batch;
+};
+
+std::string
+pointKey(const SweepPoint &pt)
+{
+    return std::string(tss::toString(pt.topology)) + "/" +
+        tss::toString(pt.placement) + (pt.batch ? "/batch" : "/solo");
+}
+
+int failures = 0;
+
+void
+checkTopological(const tss::TaskTrace &trace,
+                 const tss::RunResult &decision, const std::string &prog,
+                 const std::string &config)
+{
+    tss::DepGraph renamed =
+        tss::DepGraph::build(trace, tss::Semantics::Renamed);
+    if (!renamed.isTopologicalOrder(decision.startOrder)) {
+        std::cerr << "BUG: " << prog << " [" << config
+                  << "] started out of dependence order\n";
+        ++failures;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    tss::CliArgs args(argc, argv);
+    bool quick = args.scale(0.0, 1.0, 1.0) < 0.5; // --quick selects 0
+    bool csv = args.has("csv");
+    auto pipes = static_cast<unsigned>(args.getLong("pipes", 4));
+    auto gen_threads =
+        static_cast<unsigned>(args.getLong("gen-threads", 8));
+    auto credits = static_cast<unsigned>(args.getLong("credits", 1));
+
+    std::vector<SweepProg> programs;
+    programs.push_back(
+        {"wide", makeWideTrace(quick ? 600 : 2000, 1), true});
+    {
+        auto chol = quick ? tss::starss::makeCholeskyProgram(1, 9, 8)
+                          : tss::starss::makeCholeskyProgram(1, 12, 12);
+        programs.push_back({"cholesky", chol->context().trace(), false});
+        auto jac = quick
+            ? tss::starss::makeJacobiProgram(1, 16, 32, 6)
+            : tss::starss::makeJacobiProgram(1, 24, 32, 10);
+        programs.push_back({"jacobi", jac->context().trace(), false});
+    }
+
+    const SweepPoint sweep[] = {
+        {tss::TopologyKind::Ring, tss::PlacementKind::Adjacent, false},
+        {tss::TopologyKind::Ring, tss::PlacementKind::Adjacent, true},
+        {tss::TopologyKind::Ring, tss::PlacementKind::Spread, false},
+        {tss::TopologyKind::Ring, tss::PlacementKind::Spread, true},
+        {tss::TopologyKind::Ring, tss::PlacementKind::Random, false},
+        {tss::TopologyKind::Mesh, tss::PlacementKind::Adjacent, false},
+        {tss::TopologyKind::Mesh, tss::PlacementKind::Spread, false},
+        {tss::TopologyKind::Mesh, tss::PlacementKind::Spread, true},
+        {tss::TopologyKind::Fixed, tss::PlacementKind::Adjacent, false},
+    };
+
+    std::cout << "Figure 17: NoC topology x placement x batching on "
+              << "the sharded frontend\n(" << pipes << " pipelines, "
+              << gen_threads << " generating threads, "
+              << credits << " slice packet credits, shared data"
+              << (quick ? ", --quick" : "") << ")\n\n";
+
+    tss::TablePrinter table({"Program", "Topology", "Placement",
+                             "Batch", "decode cy/task", "makespan",
+                             "msgs", "lane-wait cy", "fill"});
+    if (csv) {
+        std::cout << "sweep,program,topology,placement,batch,tasks,"
+                  << "decode_cy,makespan,messages,lane_wait_cy,"
+                  << "batch_fill\n";
+    }
+
+    for (const SweepProg &prog : programs) {
+        std::map<std::string, double> decode;
+        for (const SweepPoint &pt : sweep) {
+            tss::PipelineConfig cfg = tss::paperConfig(256);
+            cfg.numPipelines = pipes;
+            cfg.slicePacketCredits = credits;
+            cfg.nocTopology = pt.topology;
+            cfg.nocPlacement = pt.placement;
+            cfg.batchOperands = pt.batch;
+            tss::RunResult r =
+                tss::runHardwareThreads(cfg, prog.trace, gen_threads);
+            checkTopological(prog.trace, r, prog.name, pointKey(pt));
+            decode[pointKey(pt)] = r.decodeRateCycles;
+
+            if (csv) {
+                std::cout << "sweep," << prog.name << ","
+                          << tss::toString(pt.topology) << ","
+                          << tss::toString(pt.placement) << ","
+                          << (pt.batch ? 1 : 0) << ","
+                          << prog.trace.size() << ","
+                          << r.decodeRateCycles << "," << r.makespan
+                          << "," << r.messagesOnNoc << ","
+                          << r.linkWaitCycles << "," << r.avgBatchFill
+                          << "\n";
+            } else {
+                table.addRow(
+                    {prog.name, tss::toString(pt.topology),
+                     tss::toString(pt.placement),
+                     pt.batch ? "on" : "off",
+                     tss::TablePrinter::num(r.decodeRateCycles),
+                     std::to_string(r.makespan),
+                     std::to_string(r.messagesOnNoc),
+                     std::to_string(r.linkWaitCycles),
+                     tss::TablePrinter::num(r.avgBatchFill)});
+            }
+        }
+
+        // The acceptance shape, on the wide-task program: a
+        // realistic floorplan costs decode throughput, batching buys
+        // a measurable fraction back.
+        if (!prog.gated)
+            continue;
+        double adjacent = decode["ring/adjacent/solo"];
+        double spread = decode["ring/spread/solo"];
+        double spread_batched = decode["ring/spread/batch"];
+        if (!(spread > adjacent * 1.02)) {
+            std::cerr << "BUG: " << prog.name << ": spread placement "
+                      << "did not degrade decode (" << spread << " vs "
+                      << adjacent << " cy/task)\n";
+            ++failures;
+        }
+        if (!(spread_batched < spread * 0.97)) {
+            std::cerr << "BUG: " << prog.name << ": batching did not "
+                      << "recover decode under spread placement ("
+                      << spread_batched << " vs " << spread
+                      << " cy/task)\n";
+            ++failures;
+        }
+    }
+    if (!csv)
+        table.print(std::cout);
+
+    // ------------------------------------------------ ticket ablation
+    std::cout << "\nTicket-protocol cost (real ordered admission vs "
+              << "idealAdmission oracle, ring/adjacent)\n\n";
+    tss::TablePrinter ticket({"Program", "Pipes", "real cy/task",
+                              "ideal cy/task", "overhead",
+                              "deferrals"});
+    if (csv) {
+        std::cout << "ticket,program,pipes,decode_real_cy,"
+                  << "decode_ideal_cy,overhead_pct,deferrals\n";
+    }
+
+    for (const SweepProg &prog : programs) {
+        for (unsigned p : {1u, pipes}) {
+            double real = 0, ideal = 0;
+            std::uint64_t deferrals = 0;
+            for (bool oracle : {false, true}) {
+                tss::PipelineConfig cfg = tss::paperConfig(256);
+                cfg.numPipelines = p;
+                cfg.slicePacketCredits = credits;
+                cfg.idealAdmission = oracle;
+                tss::RunResult r = tss::runHardwareThreads(
+                    cfg, prog.trace, gen_threads);
+                if (!oracle) {
+                    checkTopological(prog.trace, r, prog.name,
+                                     "ticket");
+                    real = r.decodeRateCycles;
+                    deferrals = r.decodeDeferrals;
+                } else {
+                    ideal = r.decodeRateCycles;
+                }
+            }
+            double overhead =
+                ideal > 0 ? (real - ideal) / ideal * 100.0 : 0;
+            if (csv) {
+                std::cout << "ticket," << prog.name << "," << p << ","
+                          << real << "," << ideal << "," << overhead
+                          << "," << deferrals << "\n";
+            } else {
+                ticket.addRow({prog.name, std::to_string(p),
+                               tss::TablePrinter::num(real),
+                               tss::TablePrinter::num(ideal),
+                               tss::TablePrinter::num(overhead) + "%",
+                               std::to_string(deferrals)});
+            }
+        }
+    }
+    if (!csv)
+        ticket.print(std::cout);
+
+    if (failures) {
+        std::cerr << "\n" << failures << " check(s) failed\n";
+        return 1;
+    }
+    std::cout << "\nAll start orders topological; sweep shape checks "
+              << "passed.\n";
+    return 0;
+}

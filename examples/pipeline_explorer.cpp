@@ -6,7 +6,9 @@
  *
  * Usage:
  *   pipeline_explorer --workload=Cholesky --scale=0.3 --cores=256 \
- *       --trs=8 --ort=2 --trs-kb=6144 --ort-kb=512 [--sw] [--csv]
+ *       --trs=8 --ort=2 --trs-kb=6144 --ort-kb=512 [--sw] [--csv] \
+ *       [--pipes=N] [--gen-threads=N] [--topology=fixed|ring|mesh] \
+ *       [--placement=adjacent|spread|random] [--batch] [--credits=N]
  */
 
 #include <iostream>
@@ -42,6 +44,14 @@ main(int argc, char **argv)
         static_cast<tss::Bytes>(args.getLong("ovt-kb", 512));
     cfg.renameOutputs = !args.has("no-rename");
     cfg.consumerChaining = !args.has("no-chaining");
+    cfg.numPipelines =
+        static_cast<unsigned>(args.getLong("pipes", cfg.numPipelines));
+    cfg.slicePacketCredits = static_cast<unsigned>(
+        args.getLong("credits", cfg.slicePacketCredits));
+    tss::applyNocArgs(args, cfg);
+    auto gen_threads = std::max(
+        1u, static_cast<unsigned>(
+                args.getLong("gen-threads", cfg.numPipelines)));
 
     std::cout << "workload " << name << ": " << trace.size()
               << " tasks, avg data "
@@ -60,10 +70,17 @@ main(int argc, char **argv)
               << tss::TablePrinter::num(limit.speedupBound(cores))
               << "\n\n";
 
-    tss::Pipeline pipeline(cfg, trace);
+    std::vector<unsigned> thread_of(trace.size());
+    for (std::size_t t = 0; t < trace.size(); ++t)
+        thread_of[t] = static_cast<unsigned>(t % gen_threads);
+    tss::Pipeline pipeline(cfg, trace, thread_of);
     tss::RunResult hw = pipeline.run();
-    std::cout << "task superscalar (" << cfg.numTrs << " TRS, "
-              << cfg.numOrt << " ORT/OVT, " << cores << " cores):\n"
+    std::cout << "task superscalar (" << cfg.numPipelines
+              << " pipeline(s) of " << cfg.numTrs << " TRS, "
+              << cfg.numOrt << " ORT/OVT, "
+              << tss::toString(cfg.nocTopology) << "/"
+              << tss::toString(cfg.nocPlacement) << " NoC, " << cores
+              << " cores):\n"
               << "  speedup            "
               << tss::TablePrinter::num(hw.speedup) << "\n"
               << "  decode rate        "
@@ -91,7 +108,12 @@ main(int argc, char **argv)
               << hw.versionsCreated << ", DMA write-backs "
               << hw.dmaWritebacks << "\n"
               << "  NoC messages       " << hw.messagesOnNoc
-              << ", events " << hw.eventsExecuted << "\n";
+              << ", events " << hw.eventsExecuted << "\n"
+              << "  NoC links          lane waits "
+              << hw.linkWaitCycles << " cy, busiest "
+              << tss::TablePrinter::num(hw.maxLinkUtilization * 100)
+              << "% busy, batches " << hw.operandBatches
+              << ", deferrals " << hw.decodeDeferrals << "\n";
 
     if (args.has("modstats")) {
         std::cout << "\n";

@@ -10,6 +10,7 @@
 #define TSS_CORE_CONFIG_HH
 
 #include "mem/block_layout.hh"
+#include "noc/topology.hh"
 #include "sim/hash.hh"
 #include "sim/types.hh"
 
@@ -92,6 +93,60 @@ struct PipelineConfig
     bool consumerChaining = true; ///< chain consumers vs OVT fan-out
     bool eagerWriteback = true;   ///< DMA copy-back of quiescent
                                   ///< final renamed versions
+
+    /**
+     * Ticket-protocol cost ablation: ordered admission still
+     * enforces per-object program order (so decisions stay correct
+     * and replayable), but parking an out-of-turn operand charges
+     * one cycle instead of the real protocol's tag probe
+     * (packetLatency + an eDRAM read). Compare decode rates against
+     * the real protocol to price the ordering machinery
+     * (FrontendStats::decodeDeferrals counts the parked operands
+     * either way).
+     */
+    bool idealAdmission = false;
+    /// @}
+
+    /// @name NoC topology, placement and operand batching.
+    /// @{
+    TopologyKind nocTopology = TopologyKind::Ring;
+    PlacementKind nocPlacement = PlacementKind::Adjacent;
+    std::uint64_t nocPlacementSeed = 1;
+
+    /**
+     * Gateway-side packet batching: coalesce same-destination-slice
+     * memory operands of one task into a single DecodeBatchMsg of at
+     * most batchPacketBytes (the paper's Table II 64 B packet),
+     * flushed at the packet budget or the task boundary. Off by
+     * default — the single-pipeline golden stats pin the unbatched
+     * frontend.
+     */
+    bool batchOperands = false;
+    Bytes batchPacketBytes = 64;
+
+    /**
+     * Gateway -> slice flow control: each directory slice grants
+     * every gateway this many packet credits (its per-source input
+     * buffer); a DecodeOperand or DecodeBatch packet consumes one,
+     * returned by a DecodeCredit packet when the slice finishes
+     * servicing it. This puts the gateway->slice->gateway round trip
+     * — and therefore topology distance and link contention — on the
+     * decode throughput path, which is what the fig17 sweep
+     * measures. 0 disables flow control (infinite input queues, the
+     * historical idealization; golden stats pin that mode).
+     */
+    unsigned slicePacketCredits = 0;
+
+    /** Operand descriptors that fit one batch packet. */
+    unsigned
+    maxBatchOperands() const
+    {
+        constexpr Bytes header = 8, descriptor = 16;
+        if (batchPacketBytes <= header + descriptor)
+            return 1;
+        return static_cast<unsigned>(
+            (batchPacketBytes - header) / descriptor);
+    }
     /// @}
 
     /// @name OVT rename-buffer region.

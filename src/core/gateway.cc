@@ -104,38 +104,162 @@ Gateway::tryAlloc()
     return false;
 }
 
+unsigned
+Gateway::nextOperandIndex(const GwTask &task) const
+{
+    const TraceTask &tt = registry.taskTrace().tasks[task.traceIndex];
+    auto num_ops = static_cast<unsigned>(tt.operands.size());
+    if (!cfg.batchOperands)
+        return std::min(task.nextOp, num_ops);
+    for (unsigned i = 0; i < num_ops; ++i) {
+        if (!(task.issuedMask >> i & 1u))
+            return i;
+    }
+    return num_ops;
+}
+
+bool
+Gateway::canIssueNext(const GwTask &task) const
+{
+    if (cfg.slicePacketCredits == 0)
+        return true;
+    // ROB-head escape: the oldest unfinished task always decodes.
+    if (task.traceIndex == registry.minUnfinishedIndex())
+        return true;
+    const TraceTask &tt = registry.taskTrace().tasks[task.traceIndex];
+    auto num_ops = static_cast<unsigned>(tt.operands.size());
+    unsigned next = nextOperandIndex(task);
+    if (next >= num_ops)
+        return true;
+    const TraceOperand &op = tt.operands[next];
+    if (!isMemoryOperand(op.dir))
+        return true;
+    return sliceInFlight[cfg.shardOf(op.addr)] <
+        cfg.slicePacketCredits;
+}
+
+void
+Gateway::takeCredit(unsigned shard)
+{
+    if (cfg.slicePacketCredits == 0)
+        return;
+    ++sliceInFlight[shard];
+}
+
 bool
 Gateway::issueOperandOf(GwTask &task)
 {
+    if (cfg.batchOperands)
+        return issueBatchOf(task);
+
     const TraceTask &tt = registry.taskTrace().tasks[task.traceIndex];
     if (task.nextOp < tt.operands.size()) {
         const TraceOperand &op = tt.operands[task.nextOp];
-        OperandId oid;
-        oid.task = task.id;
-        oid.index = static_cast<std::uint8_t>(task.nextOp);
+        unsigned index = task.nextOp;
         ++task.nextOp;
 
         if (isMemoryOperand(op.dir)) {
             unsigned shard = cfg.shardOf(op.addr);
+            takeCredit(shard);
             auto msg = std::make_unique<DecodeOperandMsg>(
-                oid, op.dir, op.addr, op.bytes);
-            if (registry.hasObjectTickets()) {
-                ObjectTicket ticket = registry.objectTicket(
-                    task.traceIndex, task.nextOp - 1);
-                msg->epoch = ticket.epoch;
-                msg->priorReads = ticket.priorReads;
-            }
+                makeOperandMsg(task, index));
             msg->src = node;
             msg->dst = ortNodes[shard];
             net.send(std::move(msg));
         } else {
-            auto msg = std::make_unique<ScalarOperandMsg>(oid);
-            msg->src = node;
-            msg->dst = trsNodes[task.id.trs];
-            net.send(std::move(msg));
+            issueScalarOf(task, index);
         }
     }
     return task.nextOp >= tt.operands.size();
+}
+
+void
+Gateway::issueScalarOf(const GwTask &task, unsigned index)
+{
+    OperandId oid;
+    oid.task = task.id;
+    oid.index = static_cast<std::uint8_t>(index);
+    auto msg = std::make_unique<ScalarOperandMsg>(oid);
+    msg->src = node;
+    msg->dst = trsNodes[task.id.trs];
+    net.send(std::move(msg));
+}
+
+DecodeOperandMsg
+Gateway::makeOperandMsg(const GwTask &task, unsigned index)
+{
+    const TraceTask &tt = registry.taskTrace().tasks[task.traceIndex];
+    const TraceOperand &op = tt.operands[index];
+    OperandId oid;
+    oid.task = task.id;
+    oid.index = static_cast<std::uint8_t>(index);
+    DecodeOperandMsg msg(oid, op.dir, op.addr, op.bytes);
+    if (registry.hasObjectTickets()) {
+        ObjectTicket ticket =
+            registry.objectTicket(task.traceIndex, index);
+        msg.epoch = ticket.epoch;
+        msg.priorReads = ticket.priorReads;
+    }
+    return msg;
+}
+
+bool
+Gateway::issueBatchOf(GwTask &task)
+{
+    const TraceTask &tt = registry.taskTrace().tasks[task.traceIndex];
+    auto num_ops = static_cast<unsigned>(tt.operands.size());
+
+    unsigned first = nextOperandIndex(task);
+    if (first == num_ops)
+        return true;
+
+    const TraceOperand &op = tt.operands[first];
+    task.issuedMask |= 1u << first;
+    ++task.nextOp;
+
+    if (!isMemoryOperand(op.dir)) {
+        issueScalarOf(task, first);
+        return task.nextOp >= num_ops;
+    }
+
+    // Coalesce later unissued memory operands owned by the same
+    // slice, in program order, up to the packet budget. Skipped
+    // operands keep their turn: same-object operands always share a
+    // slice, so per-object issue order is preserved.
+    unsigned shard = cfg.shardOf(op.addr);
+    std::vector<unsigned> picks{first};
+    for (unsigned i = first + 1;
+         i < num_ops && picks.size() < cfg.maxBatchOperands(); ++i) {
+        if (task.issuedMask >> i & 1u)
+            continue;
+        const TraceOperand &cand = tt.operands[i];
+        if (!isMemoryOperand(cand.dir) ||
+            cfg.shardOf(cand.addr) != shard)
+            continue;
+        picks.push_back(i);
+        task.issuedMask |= 1u << i;
+        ++task.nextOp;
+    }
+
+    stats.batchFill.sample(static_cast<double>(picks.size()));
+    takeCredit(shard);
+    if (picks.size() == 1) {
+        auto msg =
+            std::make_unique<DecodeOperandMsg>(makeOperandMsg(task, first));
+        msg->src = node;
+        msg->dst = ortNodes[shard];
+        net.send(std::move(msg));
+    } else {
+        ++stats.decodeBatches;
+        stats.batchedOperands += picks.size();
+        auto batch = std::make_unique<DecodeBatchMsg>();
+        for (unsigned i : picks)
+            batch->add(makeOperandMsg(task, i));
+        batch->src = node;
+        batch->dst = ortNodes[shard];
+        net.send(std::move(batch));
+    }
+    return task.nextOp >= num_ops;
 }
 
 bool
@@ -155,6 +279,8 @@ Gateway::tryIssue()
             // Oldest task of this thread.
             if (it->state != TaskState::Issuing)
                 break; // not ready to issue: thread must wait
+            if (!canIssueNext(*it))
+                break; // destination slice out of packet credits
             bool done = issueOperandOf(*it);
             if (done) {
                 // Task fully distributed: free the buffer entry and
@@ -220,6 +346,19 @@ Gateway::workLoop()
             // moved, so the allocation retry below may now clear the
             // ROB-head reserve gate.
             break;
+          case MsgType::DecodeCredit: {
+            auto &credit = static_cast<DecodeCreditMsg &>(*msg);
+            TSS_ASSERT(credit.shard < sliceInFlight.size(),
+                       "credit for unknown slice %u", credit.shard);
+            TSS_ASSERT(sliceInFlight[credit.shard] > 0,
+                       "slice credit underflow");
+            --sliceInFlight[credit.shard];
+            // A credit is a register update, not a packet decode:
+            // charge one cycle so flow control does not halve the
+            // gateway's issue throughput.
+            finishWork(1);
+            return;
+          }
           case MsgType::GatewayStall:
             ++stallTokens;
             break;

@@ -59,6 +59,7 @@ class Gateway : public SimObject, public Endpoint
         numThreads = num_threads;
         trsBase = trs_base;
         orderedAlloc = ordered_alloc;
+        sliceInFlight.assign(ortNodes.size(), 0);
     }
 
     void receive(MessagePtr msg) override;
@@ -84,7 +85,8 @@ class Gateway : public SimObject, public Endpoint
         std::uint32_t traceIndex = 0;
         TaskState state = TaskState::NeedAlloc;
         TaskId id;
-        unsigned nextOp = 0;
+        unsigned nextOp = 0;          ///< operands issued so far
+        std::uint32_t issuedMask = 0; ///< per-operand flags (batching)
         unsigned thread = 0;          ///< generating thread
         NodeId sourceNode = invalidNode;
     };
@@ -107,6 +109,44 @@ class Gateway : public SimObject, public Endpoint
     /** Issue one operand of @p task; true when the task completed. */
     bool issueOperandOf(GwTask &task);
 
+    /**
+     * Batching variant of one issue step: the first pending operand
+     * plus any later same-slice memory operands of the task that fit
+     * the packet budget leave in one DecodeBatchMsg (scalar operands
+     * still travel alone). True when the task completed.
+     */
+    bool issueBatchOf(GwTask &task);
+
+    /** Build the (ticket-stamped) descriptor for one operand. */
+    DecodeOperandMsg makeOperandMsg(const GwTask &task, unsigned index);
+
+    /** Send operand @p index of @p task to its TRS (scalar path). */
+    void issueScalarOf(const GwTask &task, unsigned index);
+
+    /**
+     * Index of the next operand to leave @p task: the first unissued
+     * one in batching mode (issuedMask — batches may skip ahead),
+     * the nextOp'th otherwise; the operand count when fully issued.
+     * Credit checks and issue must agree on this, so both go here.
+     */
+    unsigned nextOperandIndex(const GwTask &task) const;
+
+    /**
+     * True when @p task's next issue step may proceed: always for
+     * scalar operands; for memory operands the owning slice must
+     * hold a packet credit (PipelineConfig::slicePacketCredits). The
+     * machine-wide oldest unfinished task bypasses flow control (a
+     * reserved escape slot in hardware terms): its decode packets
+     * may overflow a slice's input buffer, so credits bound
+     * throughput without adding a liveness edge — without the
+     * escape, a slice parked on a full set can hold the very credits
+     * the park's resolution needs (circular wait).
+     */
+    bool canIssueNext(const GwTask &task) const;
+
+    /** Account one in-flight packet to @p shard (no-op when off). */
+    void takeCredit(unsigned shard);
+
     const PipelineConfig &cfg;
     TaskRegistry &registry;
     FrontendStats &stats;
@@ -126,6 +166,10 @@ class Gateway : public SimObject, public Endpoint
     /// Estimated free blocks per TRS (credit scheme; exact because
     /// the gateway is the only allocator and frees only add).
     std::vector<std::uint32_t> trsFree;
+
+    /// Unacknowledged decode packets per directory slice; bounded by
+    /// cfg.slicePacketCredits except for the ROB-head escape.
+    std::vector<unsigned> sliceInFlight;
     unsigned nextTrsRr = 0; ///< round-robin over TRSs with space
 
     unsigned stallTokens = 0;

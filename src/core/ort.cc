@@ -86,9 +86,20 @@ Ort::Service
 Ort::process(ProtoMsg &msg)
 {
     switch (msg.type) {
-      case MsgType::DecodeOperand:
+      case MsgType::DecodeOperand: {
+        Service svc = handleDecode(static_cast<DecodeOperandMsg &>(msg));
+        if (!svc.parked)
+            returnCredit(msg.src);
+        return svc;
+      }
       case MsgType::DecodeAdmit:
         return handleDecode(static_cast<DecodeOperandMsg &>(msg));
+      case MsgType::DecodeBatch: {
+        Service svc = handleBatch(static_cast<DecodeBatchMsg &>(msg));
+        if (!svc.parked)
+            returnCredit(msg.src);
+        return svc;
+      }
       case MsgType::VersionDead:
         return handleVersionDead(static_cast<VersionDeadMsg &>(msg));
       case MsgType::VersionQuiescent:
@@ -148,6 +159,10 @@ Ort::handleDecode(DecodeOperandMsg &msg)
         deferredByAddr[msg.addr].push_back(msg);
         ++deferrals;
         ++stats.decodeDeferrals;
+        // The park costs a tag probe — unless the ideal-admission
+        // oracle is measuring what that protocol cost buys.
+        if (cfg.idealAdmission)
+            return {1, false};
         return {cfg.packetLatency + edram.read(), false};
     }
 
@@ -275,6 +290,33 @@ Ort::handleDecode(DecodeOperandMsg &msg)
         commitAdmission(msg);
     cost += edram.write(); // entry update
     return {cost, false};
+}
+
+void
+Ort::returnCredit(NodeId gateway)
+{
+    if (cfg.slicePacketCredits == 0)
+        return;
+    sendMsg(gateway, std::make_unique<DecodeCreditMsg>(ortIndex));
+}
+
+Ort::Service
+Ort::handleBatch(DecodeBatchMsg &msg)
+{
+    // Service the packed descriptors in order, accumulating their
+    // individual costs. A blocked descriptor parks the whole packet
+    // with the cursor at the blocked position, so a later unpark
+    // resumes exactly where servicing stopped (descriptors already
+    // handled are never replayed).
+    Cycle cost = 0;
+    while (msg.next < msg.ops.size()) {
+        Service svc = handleDecode(msg.ops[msg.next]);
+        cost += svc.cost;
+        if (svc.parked)
+            return {cost, true};
+        ++msg.next;
+    }
+    return {std::max<Cycle>(cost, 1), false};
 }
 
 Ort::Service

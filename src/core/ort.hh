@@ -99,6 +99,10 @@ class Ort : public FrontendModule
     };
 
     Service handleDecode(DecodeOperandMsg &msg);
+    Service handleBatch(DecodeBatchMsg &msg);
+
+    /** Return one input-buffer packet credit to @p gateway. */
+    void returnCredit(NodeId gateway);
     Service handleVersionDead(VersionDeadMsg &msg);
     Service handleQuiescent(VersionQuiescentMsg &msg);
 

@@ -69,7 +69,7 @@ class Pipeline
     Ort &ort(unsigned i) { return sys->ort(i); }
     Ovt &ovt(unsigned i) { return sys->ovt(i); }
     Scheduler &scheduler() { return sys->scheduler(); }
-    RingNetwork &network() { return sys->network(); }
+    TopologyNetwork &network() { return sys->network(); }
     /// @}
 
   private:

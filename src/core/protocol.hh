@@ -53,9 +53,17 @@ enum class MsgType : std::uint8_t
     // Gateway -> ORT.
     DecodeOperand,
 
+    // Gateway -> ORT: several same-slice operand descriptors of one
+    // task coalesced into one packet (PipelineConfig::batchOperands).
+    DecodeBatch,
+
     // ORT -> ORT (self): re-arbitration of an operand the sharded
     // directory deferred to keep same-object decode in program order.
     DecodeAdmit,
+
+    // ORT -> gateway: a decode packet finished servicing; its input
+    // buffer credit returns (PipelineConfig::slicePacketCredits).
+    DecodeCredit,
 
     // ORT -> gateway (flow control).
     GatewayStall,
@@ -238,6 +246,48 @@ struct DecodeAdmitMsg : DecodeOperandMsg
     {
         type = MsgType::DecodeAdmit;
     }
+};
+
+/**
+ * Gateway -> ORT: up to maxBatchOperands() memory operands of one
+ * task, all owned by the destination slice, coalesced into a single
+ * packet — a shared header plus one 16 B descriptor per operand,
+ * within the 64 B packet budget of the paper's Table II. Descriptors
+ * stay in program order; the slice processes them in order, so
+ * per-object serialization is unchanged. The @p next cursor is the
+ * slice's resume point when servicing parks mid-batch (full set / no
+ * version credits) — progress survives a park/unpark cycle.
+ */
+struct DecodeBatchMsg : ProtoMsg
+{
+    static constexpr Bytes headerBytes = 8;
+    static constexpr Bytes descriptorBytes = 16;
+
+    DecodeBatchMsg() : ProtoMsg(MsgType::DecodeBatch, headerBytes) {}
+
+    void
+    add(const DecodeOperandMsg &op)
+    {
+        ops.push_back(op);
+        bytes += descriptorBytes;
+    }
+
+    std::vector<DecodeOperandMsg> ops;
+    unsigned next = 0; ///< ORT resume cursor across park/unpark
+};
+
+/**
+ * ORT -> gateway: one packet credit of slice @p shard returns (see
+ * PipelineConfig::slicePacketCredits). Credits are per
+ * (gateway, slice) pair, so the message names the slice.
+ */
+struct DecodeCreditMsg : ProtoMsg
+{
+    explicit DecodeCreditMsg(unsigned slice_shard)
+        : ProtoMsg(MsgType::DecodeCredit, 8), shard(slice_shard)
+    {}
+
+    unsigned shard;
 };
 
 /** ORT requests the gateway to pause while its set is full. */

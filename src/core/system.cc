@@ -49,6 +49,11 @@ SystemBuilder::build()
     // differ from the pre-shard per-pipeline hashing.
     bool shared_data =
         num_threads > 1 && !isDataPartitioned(trace, threadOf);
+    // The idealAdmission oracle changes what ordered admission
+    // *costs*, never whether it happens — the full machinery
+    // (tickets, ordered allocation, watermark) stays on, so oracle
+    // runs remain correct and replayable (see core/ort.cc).
+    bool ordered = shared_data;
     // Sanity-check the trace against the hardware limits.
     for (const auto &task : trace.tasks) {
         if (task.operands.size() > layout::maxOperands) {
@@ -77,17 +82,20 @@ SystemBuilder::build()
     // System owns, not this builder's (which dies with the builder).
     const PipelineConfig &scfg = sys->cfg;
     sys->shared = shared_data;
-    if (shared_data)
+    if (ordered)
         sys->registry.computeObjectTickets();
 
     // NoC: worker cores plus one master core per task-generating
     // thread; frontend tiles carry the gateways, TRSs, ORT/OVT pairs
-    // and the shared scheduler.
-    RingParams ring;
-    ring.numCores = cfg.numCores + num_threads;
-    ring.numFrontendTiles = cfg.frontendTiles();
-    sys->net = std::make_unique<RingNetwork>("noc", sys->eq, ring);
-    RingNetwork &net = *sys->net;
+    // and the shared scheduler. Topology and station placement are
+    // config knobs (see noc/topology.hh and noc/placement.hh).
+    NocParams noc;
+    noc.numCores = cfg.numCores + num_threads;
+    noc.numFrontendTiles = cfg.frontendTiles();
+    noc.placement = cfg.nocPlacement;
+    noc.placementSeed = cfg.nocPlacementSeed;
+    sys->net = makeTopology(cfg.nocTopology, "noc", sys->eq, noc);
+    TopologyNetwork &net = *sys->net;
 
     sys->dma = std::make_unique<DmaEngine>("dma", sys->eq);
 
@@ -117,7 +125,7 @@ SystemBuilder::build()
             sys->registry, sys->stats);
         gw->setPeers(trs_nodes, ort_nodes,
                      std::max(1u, threads_in_pipe[p]), p * cfg.numTrs,
-                     shared_data);
+                     ordered);
         sys->gateways.push_back(std::move(gw));
 
         for (unsigned i = 0; i < cfg.numTrs; ++i) {
@@ -127,8 +135,7 @@ SystemBuilder::build()
                 g, scfg, sys->registry, sys->stats);
             trs->setPeers(gw_nodes[p], sched_node, trs_nodes,
                           ovt_nodes,
-                          shared_data ? gw_nodes
-                                      : std::vector<NodeId>{});
+                          ordered ? gw_nodes : std::vector<NodeId>{});
             sys->trsModules.push_back(std::move(trs));
         }
 
@@ -137,8 +144,7 @@ SystemBuilder::build()
             auto ort = std::make_unique<Ort>(
                 "ort" + std::to_string(g), sys->eq, net, ort_nodes[g],
                 g, scfg, sys->stats);
-            ort->setPeers(gw_nodes, trs_nodes, ovt_nodes[g],
-                          shared_data);
+            ort->setPeers(gw_nodes, trs_nodes, ovt_nodes[g], ordered);
             sys->ortModules.push_back(std::move(ort));
 
             auto ovt = std::make_unique<Ovt>(
@@ -278,6 +284,14 @@ System::run(std::uint64_t max_events)
     result.versionsRenamed = stats.versionsRenamed.value();
     result.dmaWritebacks = stats.dmaWritebacks.value();
 
+    result.decodeDeferrals = stats.decodeDeferrals.value();
+    result.operandBatches = stats.decodeBatches.value();
+    result.avgBatchFill = stats.batchFill.mean();
+    LinkStats links = net->linkStats(result.makespan);
+    result.linkTraversals = links.traversals;
+    result.linkWaitCycles = links.laneWaitCycles;
+    result.maxLinkUtilization = links.maxUtilization;
+
     double hits = 0;
     for (const auto &trs : trsModules)
         hits += trs->blockList().sramHitRate();
@@ -315,6 +329,13 @@ System::dumpStats(std::ostream &os) const
        << std::setprecision(1) << net->latencyStat().mean()
        << " cy (p95 " << net->latencyStat().percentile(95)
        << ", max " << net->latencyStat().max() << ")\n";
+    LinkStats links = net->linkStats(now);
+    os << "links: " << toString(cfg.nocTopology) << "/"
+       << toString(cfg.nocPlacement) << ", " << links.links
+       << " links, " << links.traversals << " traversals, lane waits "
+       << links.laneWaitCycles << " cy, busiest link "
+       << std::setprecision(1) << links.maxUtilization * 100.0
+       << "% busy\n";
     os << "DMA: " << dma->numTransfers() << " write-backs, "
        << dma->totalBytes() / 1024 << " KB\n";
 

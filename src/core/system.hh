@@ -28,7 +28,7 @@
 #include "core/task_source.hh"
 #include "core/trs.hh"
 #include "mem/dma_engine.hh"
-#include "noc/ring.hh"
+#include "noc/topology.hh"
 
 namespace tss
 {
@@ -63,6 +63,17 @@ struct RunResult
     std::uint64_t dmaWritebacks = 0;
     std::uint64_t messagesOnNoc = 0;
     std::uint64_t eventsExecuted = 0;
+
+    /// @name Ticket-protocol and NoC observability (the fig17 sweep).
+    /// @{
+    std::uint64_t decodeDeferrals = 0;  ///< out-of-order operands parked
+    std::uint64_t operandBatches = 0;   ///< multi-operand packets sent
+    double avgBatchFill = 0;            ///< operands per issue event
+                                        ///< (batching only)
+    std::uint64_t linkTraversals = 0;   ///< lane reservations on links
+    Cycle linkWaitCycles = 0;           ///< backpressure lane waits
+    double maxLinkUtilization = 0;      ///< busiest link busy fraction
+    /// @}
 
     /** Trace indices ordered by execution start time. */
     std::vector<std::uint32_t> startOrder;
@@ -114,7 +125,7 @@ class System
     TaskRegistry &taskRegistry() { return registry; }
     FrontendStats &frontendStats() { return stats; }
     Scheduler &scheduler() { return *sched; }
-    RingNetwork &network() { return *net; }
+    TopologyNetwork &network() { return *net; }
     /// @}
 
     /// @name Per-pipeline and global-index module access. TRS, ORT
@@ -150,7 +161,7 @@ class System
     TaskRegistry registry;
     FrontendStats stats;
 
-    std::unique_ptr<RingNetwork> net;
+    std::unique_ptr<TopologyNetwork> net;
     std::unique_ptr<DmaEngine> dma;
     std::vector<std::unique_ptr<Gateway>> gateways;
     std::vector<std::unique_ptr<TaskSource>> sources;

@@ -31,6 +31,10 @@ struct FrontendStats
     Counter tombstoneReplies;   ///< registrations to finished tasks
     Counter gatewayStallEvents;
     Counter decodeDeferrals; ///< out-of-ticket-order operands parked
+    Counter decodeBatches;   ///< multi-operand DecodeBatch packets
+    Counter batchedOperands; ///< operands that rode a batch packet
+    Distribution batchFill;  ///< operands per memory issue event
+                             ///< (sampled only with batching on)
     Cycle gatewayStallCycles = 0;
     Cycle sourceStallCycles = 0;
     Distribution chainConsumers; ///< consumers chained per version

@@ -48,6 +48,24 @@ paperConfig(unsigned cores)
     return cfg;
 }
 
+void
+applyNocArgs(const CliArgs &args, PipelineConfig &cfg)
+{
+    std::string topology = args.get("topology", "");
+    if (!topology.empty())
+        cfg.nocTopology = topologyFromString(topology);
+    std::string placement = args.get("placement", "");
+    if (!placement.empty())
+        cfg.nocPlacement = placementFromString(placement);
+    cfg.nocPlacementSeed = static_cast<std::uint64_t>(
+        args.getLong("placement-seed",
+                     static_cast<long>(cfg.nocPlacementSeed)));
+    if (args.has("batch"))
+        cfg.batchOperands = true;
+    if (args.has("ideal-admission"))
+        cfg.idealAdmission = true;
+}
+
 TaskTrace
 makeWorkload(const std::string &name, double scale, std::uint64_t seed)
 {

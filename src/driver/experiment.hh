@@ -12,6 +12,7 @@
 
 #include "core/config.hh"
 #include "core/pipeline.hh"
+#include "driver/cli.hh"
 #include "swruntime/sw_runtime.hh"
 #include "trace/task_trace.hh"
 #include "workload/starss_programs.hh"
@@ -44,6 +45,15 @@ SwRunResult runSoftware(const SwRuntimeConfig &config,
  * storage, driving @p cores worker cores.
  */
 PipelineConfig paperConfig(unsigned cores = 256);
+
+/**
+ * Apply the shared NoC command-line knobs to @p cfg:
+ * `--topology=fixed|ring|mesh`, `--placement=adjacent|spread|random`,
+ * `--placement-seed=N`, `--batch` (operand batching on) and
+ * `--ideal-admission` (ticket-cost oracle). Unknown values call
+ * fatal(); absent keys leave @p cfg untouched.
+ */
+void applyNocArgs(const CliArgs &args, PipelineConfig &cfg);
 
 /**
  * Generate the named benchmark at @p scale (1.0 = paper-sized window

@@ -1,0 +1,123 @@
+#include "placement.hh"
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace tss
+{
+
+const char *
+toString(PlacementKind kind)
+{
+    switch (kind) {
+      case PlacementKind::Adjacent: return "adjacent";
+      case PlacementKind::Spread: return "spread";
+      case PlacementKind::Random: return "random";
+    }
+    return "?";
+}
+
+PlacementKind
+placementFromString(const std::string &name)
+{
+    if (name == "adjacent")
+        return PlacementKind::Adjacent;
+    if (name == "spread")
+        return PlacementKind::Spread;
+    if (name == "random")
+        return PlacementKind::Random;
+    fatal("unknown placement '%s' (adjacent|spread|random)",
+          name.c_str());
+}
+
+namespace
+{
+
+/**
+ * Assign stations to stops from @p order: order[stop] is the
+ * station's index in the canonical sequence hubs, tiles, L2, MC.
+ */
+PlacementMap
+fromOrder(const std::vector<unsigned> &order, unsigned hubs,
+          unsigned tiles, unsigned l2, unsigned mc)
+{
+    PlacementMap map;
+    map.globalStops = static_cast<unsigned>(order.size());
+    map.hubStop.resize(hubs);
+    map.frontendStop.resize(tiles);
+    map.l2Stop.resize(l2);
+    map.mcStop.resize(mc);
+    for (unsigned stop = 0; stop < map.globalStops; ++stop) {
+        unsigned s = order[stop];
+        if (s < hubs) {
+            map.hubStop[s] = stop;
+        } else if (s < hubs + tiles) {
+            map.frontendStop[s - hubs] = stop;
+        } else if (s < hubs + tiles + l2) {
+            map.l2Stop[s - hubs - tiles] = stop;
+        } else {
+            map.mcStop[s - hubs - tiles - l2] = stop;
+        }
+    }
+    return map;
+}
+
+} // namespace
+
+PlacementMap
+makePlacement(PlacementKind kind, unsigned hubs, unsigned tiles,
+              unsigned l2, unsigned mc, std::uint64_t seed)
+{
+    unsigned total = hubs + tiles + l2 + mc;
+    std::vector<unsigned> order(total);
+
+    switch (kind) {
+      case PlacementKind::Adjacent:
+        for (unsigned i = 0; i < total; ++i)
+            order[i] = i;
+        break;
+
+      case PlacementKind::Spread: {
+        // Bresenham-style even interleave: every stop either takes
+        // the next frontend tile or the next background station
+        // (hubs, then L2, then MC), so the tiles end up uniformly
+        // spaced among the rest instead of forming one block.
+        unsigned next_tile = hubs;       // canonical index of tile 0
+        unsigned next_bg_below = 0;      // hubs
+        unsigned next_bg_above = hubs + tiles; // L2 then MC
+        unsigned acc = 0;
+        for (unsigned stop = 0; stop < total; ++stop) {
+            acc += tiles;
+            bool place_tile = acc >= total && next_tile < hubs + tiles;
+            if (!place_tile &&
+                next_bg_below >= hubs && next_bg_above >= total) {
+                place_tile = true; // background exhausted
+            }
+            if (place_tile) {
+                acc -= total;
+                order[stop] = next_tile++;
+            } else if (next_bg_below < hubs) {
+                order[stop] = next_bg_below++;
+            } else {
+                order[stop] = next_bg_above++;
+            }
+        }
+        break;
+      }
+
+      case PlacementKind::Random: {
+        for (unsigned i = 0; i < total; ++i)
+            order[i] = i;
+        Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+        for (unsigned i = total; i > 1; --i) {
+            auto j = static_cast<unsigned>(rng.range(i));
+            std::swap(order[i - 1], order[j]);
+        }
+        break;
+      }
+    }
+
+    return fromOrder(order, hubs, tiles, l2, mc);
+}
+
+} // namespace tss

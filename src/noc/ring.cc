@@ -1,206 +1,51 @@
 #include "ring.hh"
 
-#include <algorithm>
-
 namespace tss
 {
 
-namespace
-{
-
-/** Shortest distance and direction around a ring of @p n stops. */
-unsigned
-ringDistance(unsigned from, unsigned to, unsigned n, bool &clockwise)
-{
-    unsigned fwd = (to + n - from) % n;
-    unsigned bwd = n - fwd;
-    if (fwd == 0) {
-        clockwise = true;
-        return 0;
-    }
-    clockwise = fwd <= bwd;
-    return clockwise ? fwd : bwd;
-}
-
-} // namespace
-
 RingNetwork::RingNetwork(std::string name, EventQueue &eq,
-                         RingParams params)
-    : Network(std::move(name), eq), _params(params)
+                         NocParams params)
+    : TopologyNetwork(std::move(name), eq, params)
 {
-    TSS_ASSERT(_params.coresPerRing > 0, "coresPerRing must be > 0");
-    numRings = (_params.numCores + _params.coresPerRing - 1) /
-        _params.coresPerRing;
-
-    // Global ring stop layout: hubs first, then the frontend tiles
-    // (kept adjacent, as the frontend is a tiled block), then L2
-    // banks, then memory controllers.
-    unsigned next = 0;
-    hubStop.resize(numRings);
-    for (unsigned r = 0; r < numRings; ++r)
-        hubStop[r] = next++;
-    frontendStop.resize(_params.numFrontendTiles);
-    for (unsigned f = 0; f < _params.numFrontendTiles; ++f)
-        frontendStop[f] = next++;
-    l2Stop.resize(_params.numL2Banks);
-    for (unsigned b = 0; b < _params.numL2Banks; ++b)
-        l2Stop[b] = next++;
-    mcStop.resize(_params.numMemCtrls);
-    for (unsigned m = 0; m < _params.numMemCtrls; ++m)
-        mcStop[m] = next++;
-    globalStops = next;
-
-    auto init_ring = [&](Ring &ring, unsigned stops) {
-        ring.stops = stops;
-        ring.lanes.assign(stops,
-            std::vector<Cycle>(_params.lanesPerSegment, 0));
-    };
-
-    init_ring(globalRing, globalStops);
-    localRings.resize(numRings);
-    for (auto &ring : localRings)
-        init_ring(ring, _params.coresPerRing + 1); // +1 for the hub
-}
-
-NodeId
-RingNetwork::coreNode(unsigned core) const
-{
-    TSS_ASSERT(core < _params.numCores, "core %u out of range", core);
-    return static_cast<NodeId>(core);
-}
-
-NodeId
-RingNetwork::frontendNode(unsigned tile) const
-{
-    TSS_ASSERT(tile < _params.numFrontendTiles, "tile %u out of range",
-               tile);
-    return static_cast<NodeId>(_params.numCores + tile);
-}
-
-NodeId
-RingNetwork::l2Node(unsigned bank) const
-{
-    TSS_ASSERT(bank < _params.numL2Banks, "bank %u out of range", bank);
-    return static_cast<NodeId>(_params.numCores +
-                               _params.numFrontendTiles + bank);
-}
-
-NodeId
-RingNetwork::memCtrlNode(unsigned mc) const
-{
-    TSS_ASSERT(mc < _params.numMemCtrls, "mc %u out of range", mc);
-    return static_cast<NodeId>(_params.numCores +
-                               _params.numFrontendTiles +
-                               _params.numL2Banks + mc);
-}
-
-RingNetwork::Location
-RingNetwork::locate(NodeId node) const
-{
-    auto n = static_cast<unsigned>(node);
-    if (n < _params.numCores) {
-        unsigned ring = n / _params.coresPerRing;
-        unsigned stop = n % _params.coresPerRing;
-        return Location{static_cast<int>(ring), stop, hubStop[ring]};
-    }
-    n -= _params.numCores;
-    if (n < _params.numFrontendTiles)
-        return Location{-1, frontendStop[n], frontendStop[n]};
-    n -= _params.numFrontendTiles;
-    if (n < _params.numL2Banks)
-        return Location{-1, l2Stop[n], l2Stop[n]};
-    n -= _params.numL2Banks;
-    TSS_ASSERT(n < _params.numMemCtrls, "node %d out of range", node);
-    return Location{-1, mcStop[n], mcStop[n]};
+    globalSegments.assign(place.globalStops, makeLink());
 }
 
 Cycle
-RingNetwork::traverse(Ring &ring, unsigned from, unsigned to,
-                      Cycle start, Cycle ser_cycles, unsigned &hops_out)
+RingNetwork::routeGlobal(unsigned from, unsigned to, Cycle start,
+                         Cycle ser, unsigned &hops_out)
 {
+    auto stops = static_cast<unsigned>(globalSegments.size());
     bool clockwise = true;
-    unsigned dist = ringDistance(from, to, ring.stops, clockwise);
+    unsigned dist = ringDistance(from, to, stops, clockwise);
     hops_out += dist;
 
     Cycle t = start;
     unsigned stop = from;
     for (unsigned i = 0; i < dist; ++i) {
-        unsigned seg = clockwise
-            ? stop
-            : (stop + ring.stops - 1) % ring.stops;
-        // Grab the earliest-free lane of this segment.
-        auto &lanes = ring.lanes[seg];
-        auto best = std::min_element(lanes.begin(), lanes.end());
-        Cycle begin = std::max(t, *best);
-        *best = begin + ser_cycles;
-        t = begin + _params.hopLatency;
-        stop = clockwise
-            ? (stop + 1) % ring.stops
-            : (stop + ring.stops - 1) % ring.stops;
+        unsigned seg = clockwise ? stop : (stop + stops - 1) % stops;
+        t = reserveLane(globalSegments[seg], t, ser) +
+            _params.hopLatency;
+        stop = clockwise ? (stop + 1) % stops
+                         : (stop + stops - 1) % stops;
     }
     return t;
 }
 
-void
-RingNetwork::send(MessagePtr msg)
+unsigned
+RingNetwork::globalHops(unsigned from, unsigned to) const
 {
-    msg->sentAt = curCycle();
-
-    Cycle ser = static_cast<Cycle>(
-        (static_cast<double>(msg->bytes) + _params.bytesPerCycle - 1) /
-        _params.bytesPerCycle);
-    ser = std::max<Cycle>(ser, 1);
-
-    Location src = locate(msg->src);
-    Location dst = locate(msg->dst);
-
-    unsigned hop_count = 0;
-    Cycle t = curCycle() + ser; // injection serialization
-
-    if (src.localRing >= 0 && src.localRing == dst.localRing) {
-        // Same processor ring: purely local traversal.
-        t = traverse(localRings[src.localRing], src.stop, dst.stop, t,
-                     ser, hop_count);
-    } else {
-        unsigned hub_pos = _params.coresPerRing; // hub stop index
-        if (src.localRing >= 0) {
-            t = traverse(localRings[src.localRing], src.stop, hub_pos,
-                         t, ser, hop_count);
-        }
-        unsigned gfrom = src.localRing >= 0 ? src.hubStop : src.stop;
-        unsigned gto = dst.localRing >= 0 ? dst.hubStop : dst.stop;
-        t = traverse(globalRing, gfrom, gto, t, ser, hop_count);
-        if (dst.localRing >= 0) {
-            t = traverse(localRings[dst.localRing], hub_pos, dst.stop,
-                         t, ser, hop_count);
-        }
-    }
-
-    hops.sample(hop_count);
-    deliverAt(t, std::move(msg));
+    bool cw = true;
+    return ringDistance(from, to,
+                        static_cast<unsigned>(globalSegments.size()),
+                        cw);
 }
 
-unsigned
-RingNetwork::hopCount(NodeId src_node, NodeId dst_node) const
+void
+RingNetwork::visitGlobalLinks(
+    const std::function<void(const Link &)> &fn) const
 {
-    Location src = locate(src_node);
-    Location dst = locate(dst_node);
-    bool cw = true;
-    unsigned count = 0;
-    unsigned local_stops = _params.coresPerRing + 1;
-    unsigned hub_pos = _params.coresPerRing;
-
-    if (src.localRing >= 0 && src.localRing == dst.localRing)
-        return ringDistance(src.stop, dst.stop, local_stops, cw);
-
-    if (src.localRing >= 0)
-        count += ringDistance(src.stop, hub_pos, local_stops, cw);
-    unsigned gfrom = src.localRing >= 0 ? src.hubStop : src.stop;
-    unsigned gto = dst.localRing >= 0 ? dst.hubStop : dst.stop;
-    count += ringDistance(gfrom, gto, globalStops, cw);
-    if (dst.localRing >= 0)
-        count += ringDistance(hub_pos, dst.stop, local_stops, cw);
-    return count;
+    for (const auto &link : globalSegments)
+        fn(link);
 }
 
 } // namespace tss

@@ -5,38 +5,26 @@
  * the hubs, the L2 banks, the memory controllers, and the task
  * superscalar frontend tiles. Links move 16 bytes/cycle and every
  * segment supports 4 concurrent connections (paper Table II).
+ *
+ * RingNetwork is the ring implementation of the topology layer
+ * (noc/topology.hh): local processor-ring legs, placement and lane
+ * accounting live in TopologyNetwork; this class contributes the
+ * global ring's shortest-direction routing. With the Adjacent
+ * placement its timing is bit-identical to the pre-topology-layer
+ * RingNetwork (pinned by the golden stats in
+ * tests/test_sharded_frontend.cc).
  */
 
 #ifndef TSS_NOC_RING_HH
 #define TSS_NOC_RING_HH
 
-#include <array>
 #include <string>
 #include <vector>
 
-#include "noc/network.hh"
+#include "noc/topology.hh"
 
 namespace tss
 {
-
-/** Configuration of the two-level ring. */
-struct RingParams
-{
-    unsigned numCores = 256;
-    unsigned coresPerRing = 8;
-    unsigned numL2Banks = 32;
-    unsigned numMemCtrls = 4;
-    unsigned numFrontendTiles = 16;
-
-    /** Cycles to traverse one ring stop. */
-    Cycle hopLatency = 1;
-
-    /** Link bandwidth in bytes per cycle. */
-    double bytesPerCycle = 16.0;
-
-    /** Concurrent connections per ring segment. */
-    unsigned lanesPerSegment = 4;
-};
 
 /**
  * Cycle-approximate two-level ring. Routing takes the shortest
@@ -44,67 +32,23 @@ struct RingParams
  * lane reservations (a message occupies one lane of each traversed
  * segment for its serialization time).
  */
-class RingNetwork : public Network
+class RingNetwork : public TopologyNetwork
 {
   public:
-    RingNetwork(std::string name, EventQueue &eq, RingParams params);
+    RingNetwork(std::string name, EventQueue &eq, NocParams params);
 
-    /// @name Node id lookup for the different station types.
-    /// @{
-    NodeId coreNode(unsigned core) const;
-    NodeId frontendNode(unsigned tile) const;
-    NodeId l2Node(unsigned bank) const;
-    NodeId memCtrlNode(unsigned mc) const;
-    /// @}
+  protected:
+    Cycle routeGlobal(unsigned from, unsigned to, Cycle start,
+                      Cycle ser, unsigned &hops_out) override;
 
-    void send(MessagePtr msg) override;
+    unsigned globalHops(unsigned from, unsigned to) const override;
 
-    /** Hop count between two nodes (for tests and stats). */
-    unsigned hopCount(NodeId src, NodeId dst) const;
-
-    const RingParams &params() const { return _params; }
-    const Distribution &hopStat() const { return hops; }
+    void visitGlobalLinks(
+        const std::function<void(const Link &)> &fn) const override;
 
   private:
-    /// Location of a node: which ring it is on and its stop index.
-    struct Location
-    {
-        int localRing;    ///< -1 when the node sits on the global ring
-        unsigned stop;    ///< stop index within its ring
-        unsigned hubStop; ///< this ring's hub position on global ring
-    };
-
-    /// One directed ring with lane reservations per segment.
-    struct Ring
-    {
-        unsigned stops = 0;
-        /// busyUntil[segment][lane], both directions share lanes.
-        std::vector<std::vector<Cycle>> lanes;
-    };
-
-    Location locate(NodeId node) const;
-
-    /**
-     * Reserve the path along @p ring from stop @p from to stop @p to
-     * starting at @p start; returns the arrival cycle.
-     */
-    Cycle traverse(Ring &ring, unsigned from, unsigned to, Cycle start,
-                   Cycle ser_cycles, unsigned &hops_out);
-
-    RingParams _params;
-    unsigned numRings;
-    unsigned globalStops;
-
-    std::vector<Ring> localRings;
-    Ring globalRing;
-
-    /// Global-ring stop index for each station.
-    std::vector<unsigned> hubStop;       // per local ring
-    std::vector<unsigned> frontendStop;  // per frontend tile
-    std::vector<unsigned> l2Stop;        // per bank
-    std::vector<unsigned> mcStop;        // per memory controller
-
-    Distribution hops;
+    /// Global ring link segments, one per stop.
+    std::vector<Link> globalSegments;
 };
 
 } // namespace tss

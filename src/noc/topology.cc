@@ -1,0 +1,273 @@
+#include "topology.hh"
+
+#include <algorithm>
+
+#include "noc/mesh.hh"
+#include "noc/ring.hh"
+
+namespace tss
+{
+
+const char *
+toString(TopologyKind kind)
+{
+    switch (kind) {
+      case TopologyKind::Fixed: return "fixed";
+      case TopologyKind::Ring: return "ring";
+      case TopologyKind::Mesh: return "mesh";
+    }
+    return "?";
+}
+
+TopologyKind
+topologyFromString(const std::string &name)
+{
+    if (name == "fixed")
+        return TopologyKind::Fixed;
+    if (name == "ring")
+        return TopologyKind::Ring;
+    if (name == "mesh")
+        return TopologyKind::Mesh;
+    fatal("unknown topology '%s' (fixed|ring|mesh)", name.c_str());
+}
+
+unsigned
+TopologyNetwork::ringDistance(unsigned from, unsigned to, unsigned n,
+                              bool &clockwise)
+{
+    unsigned fwd = (to + n - from) % n;
+    unsigned bwd = n - fwd;
+    if (fwd == 0) {
+        clockwise = true;
+        return 0;
+    }
+    clockwise = fwd <= bwd;
+    return clockwise ? fwd : bwd;
+}
+
+TopologyNetwork::TopologyNetwork(std::string name, EventQueue &eq,
+                                 NocParams params)
+    : Network(std::move(name), eq), _params(params)
+{
+    TSS_ASSERT(_params.coresPerRing > 0, "coresPerRing must be > 0");
+    numRings = (_params.numCores + _params.coresPerRing - 1) /
+        _params.coresPerRing;
+
+    place = makePlacement(_params.placement, numRings,
+                          _params.numFrontendTiles, _params.numL2Banks,
+                          _params.numMemCtrls, _params.placementSeed);
+
+    localSegments.resize(numRings);
+    for (auto &segments : localSegments)
+        segments.assign(_params.coresPerRing + 1, makeLink());
+}
+
+TopologyNetwork::Link
+TopologyNetwork::makeLink() const
+{
+    Link link;
+    link.lanes.assign(_params.lanesPerSegment, 0);
+    return link;
+}
+
+NodeId
+TopologyNetwork::coreNode(unsigned core) const
+{
+    TSS_ASSERT(core < _params.numCores, "core %u out of range", core);
+    return static_cast<NodeId>(core);
+}
+
+NodeId
+TopologyNetwork::frontendNode(unsigned tile) const
+{
+    TSS_ASSERT(tile < _params.numFrontendTiles, "tile %u out of range",
+               tile);
+    return static_cast<NodeId>(_params.numCores + tile);
+}
+
+NodeId
+TopologyNetwork::l2Node(unsigned bank) const
+{
+    TSS_ASSERT(bank < _params.numL2Banks, "bank %u out of range", bank);
+    return static_cast<NodeId>(_params.numCores +
+                               _params.numFrontendTiles + bank);
+}
+
+NodeId
+TopologyNetwork::memCtrlNode(unsigned mc) const
+{
+    TSS_ASSERT(mc < _params.numMemCtrls, "mc %u out of range", mc);
+    return static_cast<NodeId>(_params.numCores +
+                               _params.numFrontendTiles +
+                               _params.numL2Banks + mc);
+}
+
+TopologyNetwork::Location
+TopologyNetwork::locate(NodeId node) const
+{
+    auto n = static_cast<unsigned>(node);
+    if (n < _params.numCores) {
+        unsigned ring = n / _params.coresPerRing;
+        unsigned stop = n % _params.coresPerRing;
+        return Location{static_cast<int>(ring), stop,
+                        place.hubStop[ring]};
+    }
+    n -= _params.numCores;
+    if (n < _params.numFrontendTiles) {
+        return Location{-1, place.frontendStop[n],
+                        place.frontendStop[n]};
+    }
+    n -= _params.numFrontendTiles;
+    if (n < _params.numL2Banks)
+        return Location{-1, place.l2Stop[n], place.l2Stop[n]};
+    n -= _params.numL2Banks;
+    TSS_ASSERT(n < _params.numMemCtrls, "node %d out of range", node);
+    return Location{-1, place.mcStop[n], place.mcStop[n]};
+}
+
+Cycle
+TopologyNetwork::reserveLane(Link &link, Cycle t, Cycle ser)
+{
+    auto best = std::min_element(link.lanes.begin(), link.lanes.end());
+    Cycle begin = std::max(t, *best);
+    *best = begin + ser;
+    ++link.traversals;
+    link.busyCycles += ser;
+    link.waitCycles += begin - t;
+    return begin;
+}
+
+Cycle
+TopologyNetwork::traverseLocalRing(unsigned ring, unsigned from,
+                                   unsigned to, Cycle start, Cycle ser,
+                                   unsigned &hops_out)
+{
+    auto &segments = localSegments[ring];
+    auto stops = static_cast<unsigned>(segments.size());
+    bool clockwise = true;
+    unsigned dist = ringDistance(from, to, stops, clockwise);
+    hops_out += dist;
+
+    Cycle t = start;
+    unsigned stop = from;
+    for (unsigned i = 0; i < dist; ++i) {
+        unsigned seg = clockwise ? stop : (stop + stops - 1) % stops;
+        t = reserveLane(segments[seg], t, ser) + _params.hopLatency;
+        stop = clockwise ? (stop + 1) % stops
+                         : (stop + stops - 1) % stops;
+    }
+    return t;
+}
+
+Cycle
+TopologyNetwork::route(NodeId src_node, NodeId dst_node, Cycle inject,
+                       Cycle ser, unsigned &hops_out)
+{
+    Location src = locate(src_node);
+    Location dst = locate(dst_node);
+
+    Cycle t = inject + ser; // injection serialization
+
+    if (src.localRing >= 0 && src.localRing == dst.localRing) {
+        // Same processor ring: purely local traversal.
+        return traverseLocalRing(static_cast<unsigned>(src.localRing),
+                                 src.stop, dst.stop, t, ser, hops_out);
+    }
+
+    unsigned hub_pos = _params.coresPerRing; // hub stop index
+    if (src.localRing >= 0) {
+        t = traverseLocalRing(static_cast<unsigned>(src.localRing),
+                              src.stop, hub_pos, t, ser, hops_out);
+    }
+    unsigned gfrom = src.localRing >= 0 ? src.hubStop : src.stop;
+    unsigned gto = dst.localRing >= 0 ? dst.hubStop : dst.stop;
+    t = routeGlobal(gfrom, gto, t, ser, hops_out);
+    if (dst.localRing >= 0) {
+        t = traverseLocalRing(static_cast<unsigned>(dst.localRing),
+                              hub_pos, dst.stop, t, ser, hops_out);
+    }
+    return t;
+}
+
+void
+TopologyNetwork::send(MessagePtr msg)
+{
+    msg->sentAt = curCycle();
+
+    Cycle ser = static_cast<Cycle>(
+        (static_cast<double>(msg->bytes) + _params.bytesPerCycle - 1) /
+        _params.bytesPerCycle);
+    ser = std::max<Cycle>(ser, 1);
+
+    unsigned hop_count = 0;
+    Cycle t = route(msg->src, msg->dst, curCycle(), ser, hop_count);
+
+    hops.sample(hop_count);
+    deliverAt(t, std::move(msg));
+}
+
+unsigned
+TopologyNetwork::hopCount(NodeId src_node, NodeId dst_node) const
+{
+    Location src = locate(src_node);
+    Location dst = locate(dst_node);
+    bool cw = true;
+    unsigned count = 0;
+    unsigned local_stops = _params.coresPerRing + 1;
+    unsigned hub_pos = _params.coresPerRing;
+
+    if (src.localRing >= 0 && src.localRing == dst.localRing)
+        return ringDistance(src.stop, dst.stop, local_stops, cw);
+
+    if (src.localRing >= 0)
+        count += ringDistance(src.stop, hub_pos, local_stops, cw);
+    unsigned gfrom = src.localRing >= 0 ? src.hubStop : src.stop;
+    unsigned gto = dst.localRing >= 0 ? dst.hubStop : dst.stop;
+    count += globalHops(gfrom, gto);
+    if (dst.localRing >= 0)
+        count += ringDistance(hub_pos, dst.stop, local_stops, cw);
+    return count;
+}
+
+LinkStats
+TopologyNetwork::linkStats(Cycle now) const
+{
+    LinkStats stats;
+    auto visit = [&](const Link &link) {
+        ++stats.links;
+        stats.traversals += link.traversals;
+        stats.busyLaneCycles += link.busyCycles;
+        stats.laneWaitCycles += link.waitCycles;
+        if (now > 0 && !link.lanes.empty()) {
+            double util = static_cast<double>(link.busyCycles) /
+                (static_cast<double>(now) *
+                 static_cast<double>(link.lanes.size()));
+            stats.maxUtilization = std::max(stats.maxUtilization, util);
+        }
+    };
+    for (const auto &segments : localSegments)
+        for (const auto &link : segments)
+            visit(link);
+    visitGlobalLinks(visit);
+    return stats;
+}
+
+std::unique_ptr<TopologyNetwork>
+makeTopology(TopologyKind kind, std::string name, EventQueue &eq,
+             NocParams params)
+{
+    switch (kind) {
+      case TopologyKind::Fixed:
+        return std::make_unique<FixedNetwork>(std::move(name), eq,
+                                              params);
+      case TopologyKind::Ring:
+        return std::make_unique<RingNetwork>(std::move(name), eq,
+                                             params);
+      case TopologyKind::Mesh:
+        return std::make_unique<MeshNetwork>(std::move(name), eq,
+                                             params);
+    }
+    fatal("unknown topology kind %d", static_cast<int>(kind));
+}
+
+} // namespace tss

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * The pluggable NoC topology layer. A TopologyNetwork is a Network
+ * whose stations (worker/master cores, frontend tiles, L2 banks,
+ * memory controllers) occupy *stops* of a modeled fabric:
+ *
+ *  - cores sit on local processor rings of `coresPerRing` stops plus
+ *    a hub (the paper's two-level interconnect, Table II); the local
+ *    legs are shared by every topology;
+ *  - the global fabric connecting hubs, frontend tiles, L2 banks and
+ *    memory controllers is the pluggable part — a global ring
+ *    (RingNetwork, noc/ring.hh), a 2D mesh with XY routing
+ *    (MeshNetwork, noc/mesh.hh), or the fixed-latency degenerate
+ *    case (FixedNetwork, below);
+ *  - which station occupies which global stop is a PlacementPolicy
+ *    decision (noc/placement.hh), so slice distance is a modeled
+ *    quantity rather than a hard-coded adjacency.
+ *
+ * Every traversed link charges hop latency and reserves one of its
+ * `lanesPerSegment` lanes (the link's credits) for the message's
+ * serialization time; waiting for a lane is recorded as backpressure
+ * so contention is observable (LinkStats).
+ */
+
+#ifndef TSS_NOC_TOPOLOGY_HH
+#define TSS_NOC_TOPOLOGY_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "noc/network.hh"
+#include "noc/placement.hh"
+
+namespace tss
+{
+
+/** Which global fabric connects the stations. */
+enum class TopologyKind : std::uint8_t
+{
+    Fixed, ///< distance-free fixed latency (idealized interconnect)
+    Ring,  ///< the paper's segmented global ring
+    Mesh,  ///< 2D mesh, dimension-ordered (XY) routing
+};
+
+const char *toString(TopologyKind kind);
+
+/** Parse "fixed" / "ring" / "mesh"; calls fatal() otherwise. */
+TopologyKind topologyFromString(const std::string &name);
+
+/** Station counts and link parameters shared by all topologies. */
+struct NocParams
+{
+    unsigned numCores = 256;
+    unsigned coresPerRing = 8;
+    unsigned numL2Banks = 32;
+    unsigned numMemCtrls = 4;
+    unsigned numFrontendTiles = 16;
+
+    /** Cycles to traverse one link. */
+    Cycle hopLatency = 1;
+
+    /** Link bandwidth in bytes per cycle. */
+    double bytesPerCycle = 16.0;
+
+    /** Concurrent connections (lanes) per link. */
+    unsigned lanesPerSegment = 4;
+
+    /** End-to-end latency of the Fixed topology. */
+    Cycle fixedLatency = 8;
+
+    /** Station -> global stop assignment. */
+    PlacementKind placement = PlacementKind::Adjacent;
+    std::uint64_t placementSeed = 1;
+};
+
+/** Historical name: the params struct predates the topology layer. */
+using RingParams = NocParams;
+
+/** Aggregated link contention counters (see TopologyNetwork). */
+struct LinkStats
+{
+    std::uint64_t links = 0;        ///< links in the fabric
+    std::uint64_t traversals = 0;   ///< lane reservations made
+    Cycle busyLaneCycles = 0;       ///< lane-cycles of serialization
+    Cycle laneWaitCycles = 0;       ///< backpressure: waits for a lane
+    double maxUtilization = 0;      ///< busiest link's busy fraction
+};
+
+/**
+ * Network over a placed topology. Subclasses model the global fabric
+ * (routeGlobal); local processor-ring legs, station node-id mapping,
+ * placement, lane accounting and the per-pair FIFO delivery clamp
+ * (Network::deliverAt) are shared here, so no topology can reorder
+ * same-pair messages or diverge in how contention is charged.
+ */
+class TopologyNetwork : public Network
+{
+  public:
+    TopologyNetwork(std::string name, EventQueue &eq, NocParams params);
+
+    /// @name Node id lookup for the different station types.
+    /// @{
+    NodeId coreNode(unsigned core) const;
+    NodeId frontendNode(unsigned tile) const;
+    NodeId l2Node(unsigned bank) const;
+    NodeId memCtrlNode(unsigned mc) const;
+    /// @}
+
+    void send(MessagePtr msg) final;
+
+    /** Hop count between two nodes (route enumeration, no state). */
+    virtual unsigned hopCount(NodeId src, NodeId dst) const;
+
+    const NocParams &params() const { return _params; }
+    const Distribution &hopStat() const { return hops; }
+    const PlacementMap &placement() const { return place; }
+
+    /** Aggregate link contention over [0, @p now]. */
+    LinkStats linkStats(Cycle now) const;
+
+  protected:
+    /// One link: lane credits shared by both directions, plus
+    /// contention counters.
+    struct Link
+    {
+        std::vector<Cycle> lanes; ///< busy-until per lane
+        std::uint64_t traversals = 0;
+        Cycle busyCycles = 0;     ///< serialization reserved
+        Cycle waitCycles = 0;     ///< backpressure waiting for a lane
+    };
+
+    /// Location of a node: which processor ring it is on (or -1 for
+    /// global stations) and its stop indices.
+    struct Location
+    {
+        int localRing;    ///< -1 when the node sits on the global fabric
+        unsigned stop;    ///< stop index within its ring / the fabric
+        unsigned hubStop; ///< this ring's hub stop on the global fabric
+    };
+
+    Location locate(NodeId node) const;
+
+    Link makeLink() const;
+
+    /**
+     * Shortest distance and direction around a ring of @p n stops
+     * (ties break clockwise). Shared by the local-ring legs and the
+     * global-ring fabric so modeled distance (hopCount) and charged
+     * latency (route) can never disagree on direction.
+     */
+    static unsigned ringDistance(unsigned from, unsigned to,
+                                 unsigned n, bool &clockwise);
+
+    /**
+     * Reserve the earliest-free lane of @p link from @p t for
+     * @p ser cycles; returns when the message starts crossing.
+     */
+    Cycle reserveLane(Link &link, Cycle t, Cycle ser);
+
+    /**
+     * Full route of a message injected at @p inject: local ring leg,
+     * global fabric, local ring leg. Overridden only by the
+     * distance-free Fixed topology.
+     */
+    virtual Cycle route(NodeId src, NodeId dst, Cycle inject,
+                        Cycle ser, unsigned &hops_out);
+
+    /**
+     * Route between two *global* stops starting at @p start,
+     * reserving lanes along the way; returns the arrival cycle.
+     */
+    virtual Cycle routeGlobal(unsigned from, unsigned to, Cycle start,
+                              Cycle ser, unsigned &hops_out) = 0;
+
+    /** Stateless hop count between two global stops. */
+    virtual unsigned globalHops(unsigned from, unsigned to) const = 0;
+
+    /** Enumerate the subclass's global-fabric links for LinkStats. */
+    virtual void visitGlobalLinks(
+        const std::function<void(const Link &)> &fn) const = 0;
+
+    /** Traverse a local processor ring (shortest direction). */
+    Cycle traverseLocalRing(unsigned ring, unsigned from, unsigned to,
+                            Cycle start, Cycle ser, unsigned &hops_out);
+
+    NocParams _params;
+    unsigned numRings;
+    PlacementMap place;
+
+  private:
+    /// Per processor ring: coresPerRing + 1 link segments.
+    std::vector<std::vector<Link>> localSegments;
+
+    Distribution hops;
+};
+
+/**
+ * The degenerate topology: every message arrives
+ * `fixedLatency + ceil(bytes/bytesPerCycle)` cycles after injection,
+ * independent of placement — the idealized-interconnect bound of the
+ * topology sweeps. (SimpleNetwork in noc/network.hh is the same model
+ * without station mapping, kept for protocol unit tests.)
+ */
+class FixedNetwork : public TopologyNetwork
+{
+  public:
+    FixedNetwork(std::string name, EventQueue &eq, NocParams params)
+        : TopologyNetwork(std::move(name), eq, params)
+    {}
+
+    unsigned hopCount(NodeId, NodeId) const override { return 0; }
+
+  protected:
+    Cycle
+    route(NodeId, NodeId, Cycle inject, Cycle ser,
+          unsigned &hops_out) override
+    {
+        hops_out = 0;
+        return inject + _params.fixedLatency + ser;
+    }
+
+    Cycle
+    routeGlobal(unsigned, unsigned, Cycle start, Cycle,
+                unsigned &) override
+    {
+        return start;
+    }
+
+    unsigned globalHops(unsigned, unsigned) const override { return 0; }
+
+    void visitGlobalLinks(
+        const std::function<void(const Link &)> &) const override
+    {}
+};
+
+/**
+ * Build the topology selected by @p kind over @p params. The result
+ * is attached to modules through the Network interface, so callers
+ * other than SystemBuilder rarely need the concrete type.
+ */
+std::unique_ptr<TopologyNetwork> makeTopology(TopologyKind kind,
+                                              std::string name,
+                                              EventQueue &eq,
+                                              NocParams params);
+
+} // namespace tss
+
+#endif // TSS_NOC_TOPOLOGY_HH

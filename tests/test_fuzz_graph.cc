@@ -236,6 +236,15 @@ TEST(FuzzGraph, ShardedPipelinesStayExactUnderSharing)
             cfg.numTrs = 2;
             cfg.numOrt = pipes == 1 ? 2 : 1;
             cfg.numPipelines = pipes;
+            if (pipes == 4) {
+                // One mesh + spread + batching + flow-control point
+                // in the fuzz matrix: the full NoC subsystem under
+                // random shared-object programs.
+                cfg.nocTopology = TopologyKind::Mesh;
+                cfg.nocPlacement = PlacementKind::Spread;
+                cfg.batchOperands = true;
+                cfg.slicePacketCredits = 2;
+            }
 
             std::vector<unsigned> thread_of(trace.size());
             for (std::size_t t = 0; t < trace.size(); ++t)
@@ -257,6 +266,86 @@ TEST(FuzzGraph, ShardedPipelinesStayExactUnderSharing)
             EXPECT_EQ(simulated.snapshot(), expected)
                 << "seed " << seed << ", " << pipes
                 << " pipelines: functional replay diverged";
+        }
+    }
+}
+
+/**
+ * Topology/placement equivalence: random shared-object programs run
+ * under the fixed-latency, ring and mesh fabrics with every
+ * placement policy (plus batching and credit flow control in the
+ * mix). The interconnect may change *when* things happen, never
+ * *what* happens: every decision must start exactly the full task
+ * set in a topological order of the renamed graph, and functional
+ * replay of each decision must be bit-identical to sequential
+ * execution.
+ */
+TEST(FuzzGraph, TopologyPlacementEquivalence)
+{
+    struct NocConfig
+    {
+        TopologyKind topology;
+        PlacementKind placement;
+        bool batch;
+        unsigned credits;
+    };
+    const NocConfig configs[] = {
+        {TopologyKind::Fixed, PlacementKind::Adjacent, false, 0},
+        {TopologyKind::Ring, PlacementKind::Spread, true, 1},
+        {TopologyKind::Mesh, PlacementKind::Adjacent, false, 2},
+        {TopologyKind::Mesh, PlacementKind::Random, true, 0},
+    };
+
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        FuzzProgram reference(seed);
+        reference.context().runSequential();
+        std::vector<std::uint8_t> expected = reference.snapshot();
+
+        for (const NocConfig &noc : configs) {
+            FuzzProgram simulated(seed);
+            const TaskTrace &trace = simulated.context().trace();
+
+            PipelineConfig cfg;
+            cfg.numCores = 8;
+            cfg.numTrs = 2;
+            cfg.numOrt = 1;
+            cfg.numPipelines = 2;
+            cfg.nocTopology = noc.topology;
+            cfg.nocPlacement = noc.placement;
+            cfg.nocPlacementSeed = seed;
+            cfg.batchOperands = noc.batch;
+            cfg.slicePacketCredits = noc.credits;
+
+            std::string what = std::string(toString(noc.topology)) +
+                "/" + toString(noc.placement) + "/seed " +
+                std::to_string(seed);
+
+            std::vector<unsigned> thread_of(trace.size());
+            for (std::size_t t = 0; t < trace.size(); ++t)
+                thread_of[t] = static_cast<unsigned>(t % 3);
+            auto sys = SystemBuilder(cfg, trace)
+                           .threads(std::move(thread_of))
+                           .build();
+            RunResult decision = sys->run(4'000'000'000ULL);
+
+            // Identical completion set: every task, exactly once.
+            ASSERT_EQ(decision.startOrder.size(), trace.size())
+                << what;
+            std::vector<std::uint32_t> started = decision.startOrder;
+            std::sort(started.begin(), started.end());
+            for (std::uint32_t t = 0;
+                 t < static_cast<std::uint32_t>(trace.size()); ++t)
+                ASSERT_EQ(started[t], t) << what;
+
+            DepGraph renamed =
+                DepGraph::build(trace, Semantics::Renamed);
+            EXPECT_TRUE(renamed.isTopologicalOrder(decision.startOrder))
+                << what << ": start order violates the renamed graph";
+
+            FunctionalExecutor fexec(simulated.context());
+            fexec.execute(decision.startOrder);
+            EXPECT_EQ(simulated.snapshot(), expected)
+                << what << ": functional replay diverged";
         }
     }
 }

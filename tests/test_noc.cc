@@ -1,16 +1,24 @@
 /**
  * @file
- * Unit tests for the two-level ring NoC: topology/node lookup, hop
- * counting, delivery, per-pair FIFO ordering, and contention.
+ * Unit tests for the NoC topology layer: node lookup, hop counting,
+ * delivery, per-pair FIFO ordering and contention on the two-level
+ * ring, the 2D mesh, and the fixed-latency degenerate topology, plus
+ * the station placement policies.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <vector>
 
+#include "noc/mesh.hh"
 #include "noc/network.hh"
+#include "noc/placement.hh"
 #include "noc/ring.hh"
+#include "noc/topology.hh"
 #include "sim/event_queue.hh"
+#include "sim/random.hh"
 
 namespace tss
 {
@@ -208,6 +216,247 @@ TEST(RingNetwork, ManyCoreConfigurationWorks)
     net.send(std::move(msg));
     eq.run();
     EXPECT_EQ(sink.arrivals.size(), 1u);
+}
+
+// ---------------------------------------------------------- placement
+
+TEST(Placement, AdjacentReproducesHistoricalLayout)
+{
+    // Hubs first, then the frontend tiles as one block, then L2
+    // banks, then memory controllers — the layout the pre-topology
+    // RingNetwork hard-coded (and the golden stats pin).
+    PlacementMap map =
+        makePlacement(PlacementKind::Adjacent, 4, 3, 8, 2, 1);
+    EXPECT_EQ(map.globalStops, 17u);
+    for (unsigned h = 0; h < 4; ++h)
+        EXPECT_EQ(map.hubStop[h], h);
+    for (unsigned f = 0; f < 3; ++f)
+        EXPECT_EQ(map.frontendStop[f], 4 + f);
+    for (unsigned b = 0; b < 8; ++b)
+        EXPECT_EQ(map.l2Stop[b], 7 + b);
+    for (unsigned m = 0; m < 2; ++m)
+        EXPECT_EQ(map.mcStop[m], 15 + m);
+}
+
+/** Every station occupies exactly one stop, all stops covered. */
+void
+expectPermutation(const PlacementMap &map)
+{
+    std::vector<unsigned> stops;
+    for (unsigned s : map.hubStop)
+        stops.push_back(s);
+    for (unsigned s : map.frontendStop)
+        stops.push_back(s);
+    for (unsigned s : map.l2Stop)
+        stops.push_back(s);
+    for (unsigned s : map.mcStop)
+        stops.push_back(s);
+    ASSERT_EQ(stops.size(), map.globalStops);
+    std::sort(stops.begin(), stops.end());
+    for (unsigned i = 0; i < stops.size(); ++i)
+        EXPECT_EQ(stops[i], i);
+}
+
+TEST(Placement, SpreadDispersesFrontendTiles)
+{
+    PlacementMap map =
+        makePlacement(PlacementKind::Spread, 8, 12, 16, 4, 1);
+    expectPermutation(map);
+
+    // Frontend tiles keep their relative order but no longer form
+    // one block: consecutive tiles are separated by other stations.
+    std::vector<unsigned> tiles = map.frontendStop;
+    EXPECT_TRUE(std::is_sorted(tiles.begin(), tiles.end()));
+    unsigned adjacent_pairs = 0;
+    for (std::size_t i = 1; i < tiles.size(); ++i)
+        adjacent_pairs += tiles[i] == tiles[i - 1] + 1 ? 1 : 0;
+    EXPECT_LT(adjacent_pairs, tiles.size() / 2)
+        << "spread placement left the tiles mostly contiguous";
+}
+
+TEST(Placement, RandomIsASeededPermutation)
+{
+    PlacementMap a =
+        makePlacement(PlacementKind::Random, 8, 12, 16, 4, 7);
+    PlacementMap b =
+        makePlacement(PlacementKind::Random, 8, 12, 16, 4, 7);
+    PlacementMap c =
+        makePlacement(PlacementKind::Random, 8, 12, 16, 4, 8);
+    expectPermutation(a);
+    expectPermutation(c);
+    EXPECT_EQ(a.frontendStop, b.frontendStop) << "same seed differs";
+    EXPECT_NE(a.frontendStop, c.frontendStop) << "seed ignored";
+}
+
+TEST(Placement, ParseRoundTrips)
+{
+    for (PlacementKind k :
+         {PlacementKind::Adjacent, PlacementKind::Spread,
+          PlacementKind::Random})
+        EXPECT_EQ(placementFromString(toString(k)), k);
+    for (TopologyKind k : {TopologyKind::Fixed, TopologyKind::Ring,
+                           TopologyKind::Mesh})
+        EXPECT_EQ(topologyFromString(toString(k)), k);
+}
+
+// --------------------------------------------------------------- mesh
+
+TEST(MeshNetwork, GridGeometryAndHops)
+{
+    EventQueue eq;
+    MeshNetwork net("mesh", eq, smallRing());
+    // 4 rings -> 4 hubs; 4 + 4 + 8 + 2 = 18 stations -> 5x4 grid.
+    EXPECT_EQ(net.meshWidth(), 5u);
+    EXPECT_GE(net.meshWidth() * net.meshHeight(), 18u);
+
+    // Global stations route XY: hop count is the Manhattan distance.
+    const PlacementMap &place = net.placement();
+    unsigned f0 = place.frontendStop[0];
+    unsigned l7 = place.l2Stop[7];
+    unsigned dx = net.stopX(f0) > net.stopX(l7)
+        ? net.stopX(f0) - net.stopX(l7)
+        : net.stopX(l7) - net.stopX(f0);
+    unsigned dy = net.stopY(f0) > net.stopY(l7)
+        ? net.stopY(f0) - net.stopY(l7)
+        : net.stopY(l7) - net.stopY(f0);
+    EXPECT_EQ(net.hopCount(net.frontendNode(0), net.l2Node(7)),
+              dx + dy);
+
+    // Core legs still ride the local processor rings.
+    EXPECT_GT(net.hopCount(net.coreNode(0), net.frontendNode(0)), 0u);
+    EXPECT_EQ(net.hopCount(net.coreNode(0), net.coreNode(1)), 1u);
+}
+
+TEST(MeshNetwork, DeliversAndRecordsContention)
+{
+    EventQueue eq;
+    MeshNetwork net("mesh", eq, smallRing());
+    Sink sink(eq);
+    net.attach(net.l2Node(0), sink);
+    for (int i = 0; i < 64; ++i) {
+        auto msg = std::make_unique<Message>(net.coreNode(1),
+                                             net.l2Node(0), 1024);
+        net.send(std::move(msg));
+    }
+    eq.run();
+    EXPECT_EQ(sink.arrivals.size(), 64u);
+    LinkStats links = net.linkStats(eq.now());
+    EXPECT_GT(links.traversals, 0u);
+    EXPECT_GT(links.laneWaitCycles, 0u)
+        << "64 large same-path messages should contend for lanes";
+    EXPECT_GT(links.maxUtilization, 0.0);
+}
+
+TEST(FixedNetwork, DistanceFreeDelivery)
+{
+    EventQueue eq;
+    NocParams p = smallRing();
+    p.fixedLatency = 10;
+    FixedNetwork net("fixed", eq, p);
+    Sink near(eq), far(eq);
+    net.attach(net.frontendNode(0), near);
+    net.attach(net.memCtrlNode(1), far);
+    auto a = std::make_unique<Message>(net.coreNode(0),
+                                       net.frontendNode(0), 32);
+    auto b = std::make_unique<Message>(net.coreNode(0),
+                                       net.memCtrlNode(1), 32);
+    net.send(std::move(a));
+    net.send(std::move(b));
+    eq.run();
+    ASSERT_EQ(near.arrivals.size(), 1u);
+    ASSERT_EQ(far.arrivals.size(), 1u);
+    EXPECT_EQ(near.arrivals[0], far.arrivals[0])
+        << "fixed topology must ignore distance";
+    EXPECT_EQ(net.hopCount(net.coreNode(0), net.memCtrlNode(1)), 0u);
+}
+
+/**
+ * Regression for the shared per-pair FIFO clamp (Network::deliverAt):
+ * no topology/placement may reorder messages between one
+ * source/destination pair, no matter how serialization times and
+ * contention interleave. Randomized traffic over every topology.
+ */
+TEST(TopologyNetwork, PerPairFifoUnderRandomTrafficAllTopologies)
+{
+    struct Probe : Message
+    {
+        Probe(NodeId s, NodeId d, Bytes b, std::uint64_t sequence)
+            : Message(s, d, b), seq(sequence)
+        {}
+        std::uint64_t seq;
+    };
+
+    struct SeqSink : Endpoint
+    {
+        void
+        receive(MessagePtr msg) override
+        {
+            auto &probe = static_cast<Probe &>(*msg);
+            auto key = (std::uint64_t(std::uint32_t(probe.src)) << 32) |
+                std::uint32_t(probe.dst);
+            auto [it, inserted] = lastSeq.emplace(key, probe.seq);
+            if (!inserted) {
+                EXPECT_GT(probe.seq, it->second)
+                    << "same-pair messages reordered";
+                it->second = probe.seq;
+            }
+        }
+        std::map<std::uint64_t, std::uint64_t> lastSeq;
+    };
+
+    struct Config
+    {
+        TopologyKind topology;
+        PlacementKind placement;
+    };
+    const Config configs[] = {
+        {TopologyKind::Ring, PlacementKind::Adjacent},
+        {TopologyKind::Ring, PlacementKind::Spread},
+        {TopologyKind::Mesh, PlacementKind::Spread},
+        {TopologyKind::Mesh, PlacementKind::Random},
+        {TopologyKind::Fixed, PlacementKind::Adjacent},
+    };
+
+    for (const Config &config : configs) {
+        EventQueue eq;
+        NocParams params = smallRing();
+        params.placement = config.placement;
+        auto net =
+            makeTopology(config.topology, "noc", eq, params);
+        SeqSink sink;
+        std::vector<NodeId> nodes;
+        for (unsigned i = 0; i < 4; ++i)
+            nodes.push_back(net->frontendNode(i));
+        for (unsigned i = 0; i < 8; ++i)
+            nodes.push_back(net->coreNode(i * 4));
+        for (unsigned i = 0; i < 4; ++i)
+            nodes.push_back(net->l2Node(i));
+        for (NodeId node : nodes)
+            net->attach(node, sink);
+
+        Rng rng(42);
+        std::uint64_t seq = 0;
+        for (unsigned burst = 0; burst < 40; ++burst) {
+            Cycle when = burst * 3;
+            unsigned count =
+                static_cast<unsigned>(rng.rangeInclusive(1, 6));
+            std::vector<std::unique_ptr<Probe>> batch;
+            for (unsigned i = 0; i < count; ++i) {
+                NodeId src = nodes[rng.range(nodes.size())];
+                NodeId dst = nodes[rng.range(nodes.size())];
+                auto bytes = static_cast<Bytes>(
+                    8u << rng.range(7)); // 8..512 B
+                batch.push_back(
+                    std::make_unique<Probe>(src, dst, bytes, seq++));
+            }
+            eq.schedule(when, [&net, moved = std::move(batch)]() mutable {
+                for (auto &m : moved)
+                    net->send(std::move(m));
+            });
+        }
+        eq.run();
+        EXPECT_FALSE(sink.lastSeq.empty());
+    }
 }
 
 } // namespace
