@@ -22,17 +22,27 @@ Two benchmark families are gated:
   execution, so correctness is already enforced upstream.
 
 * noc -- ``fig17_noc_contention --quick --csv``: the topology x
-  placement x batching sweep and the ticket-protocol ablation on the
-  synthetic ``wide`` program, whose operand addresses come from the
-  deterministic AddressSpace (the cholesky/jacobi reference rows use
-  real heap addresses and therefore vary with ASLR — they are
-  *dropped* from the JSON). Decode cycles and message counts gate
-  against the baseline; the sweep's acceptance shape (spread degrades
-  decode, batching recovers it) is enforced by the bench itself,
-  which exits non-zero — so a shape regression already fails the
-  capture step. The compare step additionally re-checks the recorded
-  shape and that ordered admission is never cheaper than the
-  idealAdmission oracle at the multi-pipeline point.
+  placement x batching sweep and the ticket-protocol ablation. The
+  synthetic ``wide`` program always used deterministic AddressSpace
+  addresses; the cholesky/jacobi real-kernel rows are now decoded
+  from *relocated* traces (src/trace/relocate.hh rebases the captured
+  heap regions onto the same synthetic space), so every row of the
+  bench is a pure function of (program, config) and all of them gate
+  hard: wide rows under ``sweep``/``ticket`` (historical keys), real
+  rows under ``real_sweep``/``real_ticket`` keyed by program name.
+  Decode cycles and message counts gate against the baseline; the
+  sweep's acceptance shape (spread degrades decode, batching recovers
+  it) is enforced by the bench itself, which exits non-zero — so a
+  shape regression already fails the capture step. The compare step
+  additionally re-checks the recorded shape and that ordered
+  admission is never cheaper than the idealAdmission oracle at the
+  multi-pipeline point.
+
+The ``determinism`` subcommand diffs the ``fig17_quick`` sections of
+two captures *exactly* (no tolerance): CI runs the noc capture twice
+in one job and fails if any row — in particular the relocated
+real-kernel rows — changed between invocations (e.g. an address
+sneaking back into simulated routing).
 
 Usage:
   compare_bench.py capture-kernel   --bench PATH --out FRESH.json
@@ -40,10 +50,11 @@ Usage:
   compare_bench.py capture-noc      --bench PATH --out FRESH.json
   compare_bench.py compare --kind {kernel,parallel,noc} \
       --baseline BASE.json --fresh FRESH.json [--tolerance 0.15]
+  compare_bench.py determinism --a RUN1.json --b RUN2.json
 
 ``capture-*`` runs the benchmark and writes a fresh JSON (uploaded as
-a CI artifact — use it to re-baseline by hand). ``compare`` exits
-non-zero on regression.
+a CI artifact — use it to re-baseline by hand). ``compare`` and
+``determinism`` exit non-zero on regression/divergence.
 """
 
 import argparse
@@ -128,30 +139,42 @@ def capture_kernel(bench, out):
 
 
 def parse_fig17_csv(text):
-    """fig17 CSV -> {"sweep": {...}, "ticket": {...}} (wide only)."""
-    sweep = {}
-    ticket = {}
+    """fig17 CSV -> wide rows under "sweep"/"ticket" (historical
+    keys) plus the relocated real-kernel rows under
+    "real_sweep"/"real_ticket", keyed by program name."""
+    out = {"sweep": {}, "ticket": {},
+           "real_sweep": {}, "real_ticket": {}}
     for line in text.splitlines():
         cells = line.strip().split(",")
-        if cells[0] == "sweep" and cells[1] == "wide":
-            _, _, topo, place, batch, _tasks, decode, _makespan, \
+        if len(cells) > 1 and cells[1] == "program":
+            continue  # CSV header rows
+        if cells[0] == "sweep":
+            _, prog, topo, place, batch, _tasks, decode, _makespan, \
                 messages, lane_wait, batch_fill = cells
             key = f"{topo}/{place}/{'batch' if batch == '1' else 'solo'}"
-            sweep[key] = {
+            row = {
                 "decode_cy": float(decode),
                 "messages": int(messages),
                 "lane_wait_cy": int(lane_wait),
                 "batch_fill": float(batch_fill),
             }
-        elif cells[0] == "ticket" and cells[1] == "wide":
-            _, _, pipes, real, ideal, overhead, deferrals = cells
-            ticket[pipes] = {
+            if prog == "wide":
+                out["sweep"][key] = row
+            else:
+                out["real_sweep"].setdefault(prog, {})[key] = row
+        elif cells[0] == "ticket":
+            _, prog, pipes, real, ideal, overhead, deferrals = cells
+            row = {
                 "decode_real_cy": float(real),
                 "decode_ideal_cy": float(ideal),
                 "overhead_pct": float(overhead),
                 "deferrals": int(deferrals),
             }
-    return {"sweep": sweep, "ticket": ticket}
+            if prog == "wide":
+                out["ticket"][pipes] = row
+            else:
+                out["real_ticket"].setdefault(prog, {})[pipes] = row
+    return out
 
 
 def capture_noc(bench, out):
@@ -252,23 +275,40 @@ def compare_parallel(baseline, fresh, gate):
 def compare_noc(baseline, fresh, gate):
     base = baseline["fig17_quick"]
     new = fresh["fig17_quick"]
-    for key, cell in base["sweep"].items():
-        if key not in new["sweep"]:
-            gate.failures.append(f"sweep {key} missing")
-            continue
-        gate.check(f"sweep {key} decode cy/task",
-                   new["sweep"][key]["decode_cy"], cell["decode_cy"],
-                   higher_is_better=False)
-        gate.check(f"sweep {key} messages",
-                   new["sweep"][key]["messages"], cell["messages"],
-                   higher_is_better=False)
-    for pipes, cell in base["ticket"].items():
-        if pipes not in new["ticket"]:
-            gate.failures.append(f"ticket {pipes}p missing")
-            continue
-        gate.check(f"ticket {pipes}p real decode cy/task",
-                   new["ticket"][pipes]["decode_real_cy"],
-                   cell["decode_real_cy"], higher_is_better=False)
+
+    def gate_sweep(name, base_rows, new_rows):
+        for key, cell in base_rows.items():
+            if key not in new_rows:
+                gate.failures.append(f"{name} {key} missing")
+                continue
+            gate.check(f"{name} {key} decode cy/task",
+                       new_rows[key]["decode_cy"], cell["decode_cy"],
+                       higher_is_better=False)
+            gate.check(f"{name} {key} messages",
+                       new_rows[key]["messages"], cell["messages"],
+                       higher_is_better=False)
+
+    def gate_ticket(name, base_rows, new_rows):
+        for pipes, cell in base_rows.items():
+            if pipes not in new_rows:
+                gate.failures.append(f"{name} {pipes}p missing")
+                continue
+            gate.check(f"{name} {pipes}p real decode cy/task",
+                       new_rows[pipes]["decode_real_cy"],
+                       cell["decode_real_cy"], higher_is_better=False)
+
+    gate_sweep("sweep wide", base["sweep"], new["sweep"])
+    gate_ticket("ticket wide", base["ticket"], new["ticket"])
+
+    # Relocated real-kernel rows gate exactly like the wide ones: a
+    # missing program is a hard failure (a silently dropped row would
+    # otherwise read as "no regression").
+    for prog, rows in base.get("real_sweep", {}).items():
+        gate_sweep(f"sweep {prog}", rows,
+                   new.get("real_sweep", {}).get(prog, {}))
+    for prog, rows in base.get("real_ticket", {}).items():
+        gate_ticket(f"ticket {prog}", rows,
+                    new.get("real_ticket", {}).get(prog, {}))
 
     # Acceptance shape, re-checked on the recorded numbers: a spread
     # floorplan costs decode throughput, batching recovers part of
@@ -302,6 +342,42 @@ def compare_noc(baseline, fresh, gate):
         gate.failures.append("shape: ticket section empty")
 
 
+def flatten(value, prefix=""):
+    """Nested dict -> {"a/b/c": leaf} for readable exact diffs."""
+    if not isinstance(value, dict):
+        return {prefix: value}
+    out = {}
+    for key, child in value.items():
+        path = f"{prefix}/{key}" if prefix else str(key)
+        out.update(flatten(child, path))
+    return out
+
+
+def check_determinism(path_a, path_b):
+    """Exact (zero-tolerance) diff of two noc captures' fig17_quick
+    sections; every simulated metric must be byte-identical."""
+    with open(path_a) as f:
+        a = json.load(f)
+    with open(path_b) as f:
+        b = json.load(f)
+    cells_a = flatten(a["fig17_quick"])
+    cells_b = flatten(b["fig17_quick"])
+    diverged = []
+    for key in sorted(set(cells_a) | set(cells_b)):
+        if cells_a.get(key) != cells_b.get(key):
+            diverged.append(
+                f"  {key}: {cells_a.get(key, '<missing>')} != "
+                f"{cells_b.get(key, '<missing>')}")
+    real_rows = sum(1 for k in cells_a if k.startswith("real_"))
+    if diverged:
+        print(f"{len(diverged)} cell(s) diverged between runs:")
+        print("\n".join(diverged))
+        return 1
+    print(f"determinism check passed: {len(cells_a)} cells "
+          f"byte-identical ({real_rows} relocated real-kernel cells)")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="cmd", required=True)
@@ -318,7 +394,13 @@ def main():
     p.add_argument("--fresh", required=True)
     p.add_argument("--tolerance", type=float, default=0.15)
 
+    p = sub.add_parser("determinism")
+    p.add_argument("--a", required=True)
+    p.add_argument("--b", required=True)
+
     args = parser.parse_args()
+    if args.cmd == "determinism":
+        return check_determinism(args.a, args.b)
     if args.cmd == "capture-kernel":
         capture_kernel(args.bench, args.out)
         return 0

@@ -17,11 +17,13 @@
  * StarSs programs, 8 generating threads fed round-robin, no data
  * partitioning). This is the configuration the address-interleaved
  * global directory enables — the pre-shard frontend fatal()ed on it.
- * Every simulated decision is replayed on real threads and checked
- * bit-identical against sequential execution (differential oracle);
- * the bench aborts on divergence. --quick shrinks the sweep's
- * programs (same pipeline counts); --workload=Name restricts the
- * main panel and skips the sweep.
+ * The sweep decodes the programs' *relocated* traces
+ * (trace/relocate.hh), so its decode rates are deterministic across
+ * runs and machines. Every simulated decision is replayed on real
+ * threads and checked bit-identical against sequential execution
+ * (differential oracle); the bench aborts on divergence. --quick
+ * shrinks the sweep's programs (same pipeline counts);
+ * --workload=Name restricts the main panel and skips the sweep.
  *
  * Usage: fig16_scalability [--quick|--full|--scale=X]
  *        [--workload=Name] [--csv] [--stats]
@@ -106,7 +108,10 @@ shardSweep(bool csv, bool quick)
         double decode1 = 0, decode4 = 0;
         for (unsigned pipes : pipeline_counts) {
             auto program = prog.make(1);
-            const tss::TaskTrace &trace = program->context().trace();
+            // Decode on the relocated trace (deterministic shardOf
+            // routing); replay the decision on the real program — the
+            // renamed graph is relocation-invariant.
+            tss::TaskTrace trace = program->context().relocatedTrace();
             row[1] = std::to_string(trace.size());
 
             tss::PipelineConfig cfg = tss::paperConfig(64);

@@ -20,7 +20,14 @@
  *  - blocked Cholesky and Jacobi (the shared-data real programs of
  *    fig16): realistic narrow-task reference rows. Their tasks have
  *    3-5 operands over totalOrt slices, so batches rarely fill —
- *    they show where batching does *not* pay.
+ *    they show where batching does *not* pay. Their captured traces
+ *    are *relocated* onto the synthetic AddressSpace
+ *    (trace/relocate.hh), so these rows are bit-deterministic across
+ *    runs and machines and CI-gated in BENCH_noc.json like the wide
+ *    rows (before relocation, heap/ASLR addresses made their shardOf
+ *    routing — and timing — vary run to run, and they were dropped).
+ *    `--relocate-seed=N` re-lays the regions out by seeded shuffle
+ *    for layout-sensitivity experiments (off the CI path).
  *
  * Panel 2 is the ticket-protocol cost ablation (ROADMAP item): the
  * same programs decoded with the real ordered-admission protocol vs
@@ -36,6 +43,7 @@
  *
  * Usage: fig17_noc_contention [--quick|--full] [--csv]
  *        [--pipes=N] [--gen-threads=N] [--credits=N]
+ *        [--relocate-seed=N] [--relocate-align=N]
  */
 
 #include <cstdlib>
@@ -147,17 +155,25 @@ main(int argc, char **argv)
         static_cast<unsigned>(args.getLong("gen-threads", 8));
     auto credits = static_cast<unsigned>(args.getLong("credits", 1));
 
+    tss::RelocationOptions reloc;
+    tss::applyRelocateArgs(args, reloc);
+
     std::vector<SweepProg> programs;
     programs.push_back(
         {"wide", makeWideTrace(quick ? 600 : 2000, 1), true});
     {
+        // Real-kernel reference rows, relocated onto the synthetic
+        // address space: every simulated number below is a pure
+        // function of (program, config) — ASLR-free, CI-gateable.
         auto chol = quick ? tss::starss::makeCholeskyProgram(1, 9, 8)
                           : tss::starss::makeCholeskyProgram(1, 12, 12);
-        programs.push_back({"cholesky", chol->context().trace(), false});
+        programs.push_back(
+            {"cholesky", chol->context().relocatedTrace(reloc), false});
         auto jac = quick
             ? tss::starss::makeJacobiProgram(1, 16, 32, 6)
             : tss::starss::makeJacobiProgram(1, 24, 32, 10);
-        programs.push_back({"jacobi", jac->context().trace(), false});
+        programs.push_back(
+            {"jacobi", jac->context().relocatedTrace(reloc), false});
     }
 
     const SweepPoint sweep[] = {

@@ -102,13 +102,15 @@ main(int argc, char **argv)
     }
     std::cout << "\n  ],\n";
 
-    // Replay mode: execute a 4-core simulated decision for real.
+    // Replay mode: execute a 4-core simulated decision for real. The
+    // decision is made on the relocated trace (deterministic
+    // addresses), then replayed on the program's real memory.
     {
         auto program = info.make(1);
         tss::PipelineConfig cfg;
         cfg.numCores = 4;
         tss::RunResult decision =
-            tss::runHardware(cfg, program->context().trace());
+            tss::runHardware(cfg, program->context().relocatedTrace());
         tss::starss::ParallelExecutor exec(program->context());
         tss::starss::ParallelRunStats stats =
             exec.runReplay(decision);

@@ -8,7 +8,8 @@
  *   pipeline_explorer --workload=Cholesky --scale=0.3 --cores=256 \
  *       --trs=8 --ort=2 --trs-kb=6144 --ort-kb=512 [--sw] [--csv] \
  *       [--pipes=N] [--gen-threads=N] [--topology=fixed|ring|mesh] \
- *       [--placement=adjacent|spread|random] [--batch] [--credits=N]
+ *       [--placement=adjacent|spread|random] [--batch] [--credits=N] \
+ *       [--relocate] [--relocate-seed=N]
  */
 
 #include <iostream>
@@ -18,6 +19,7 @@
 #include "driver/table.hh"
 #include "graph/dataflow_limit.hh"
 #include "graph/dep_graph.hh"
+#include "sim/logging.hh"
 #include "trace/trace_stats.hh"
 
 int
@@ -31,6 +33,13 @@ main(int argc, char **argv)
 
     tss::TaskTrace trace =
         tss::makeWorkload(name, scale, args.getLong("seed", 1));
+    tss::RelocationOptions reloc;
+    if (tss::applyRelocateArgs(args, reloc)) {
+        trace = tss::relocateTrace(trace, reloc);
+    } else if (args.has("relocate-seed") || args.has("relocate-align")) {
+        tss::warn("--relocate-seed/--relocate-align have no effect "
+                  "without --relocate");
+    }
     tss::TraceStats tstats = tss::TraceStats::compute(trace);
 
     tss::PipelineConfig cfg = tss::paperConfig(cores);

@@ -8,6 +8,8 @@
  * Usage:
  *   trace_tools --workload=FFT --scale=0.2 --save=fft.trace
  *   trace_tools --load=fft.trace [--stats] [--dot]
+ *   trace_tools --load=real.trace --relocate [--relocate-seed=N] \
+ *       --save=real-reloc.trace   # rebase onto the synthetic space
  */
 
 #include <fstream>
@@ -19,6 +21,7 @@
 #include "graph/dataflow_limit.hh"
 #include "graph/dep_graph.hh"
 #include "graph/dot_export.hh"
+#include "sim/logging.hh"
 #include "trace/trace_io.hh"
 #include "trace/trace_stats.hh"
 
@@ -34,6 +37,17 @@ main(int argc, char **argv)
         trace = tss::makeWorkload(args.get("workload", "Cholesky"),
                                   args.getDouble("scale", 0.2),
                                   args.getLong("seed", 1));
+    }
+
+    tss::RelocationOptions reloc;
+    if (tss::applyRelocateArgs(args, reloc)) {
+        tss::RelocationMap map = tss::buildRelocationMap(trace, reloc);
+        trace = map.apply(trace);
+        std::cerr << "relocated " << map.regions().size()
+                  << " region(s) onto the synthetic address space\n";
+    } else if (args.has("relocate-seed") || args.has("relocate-align")) {
+        tss::warn("--relocate-seed/--relocate-align have no effect "
+                  "without --relocate");
     }
 
     if (args.has("save")) {

@@ -209,8 +209,8 @@ SystemBuilder::build()
     return sys;
 }
 
-RunResult
-System::run(std::uint64_t max_events)
+LivenessReport
+System::runWatchdog(std::uint64_t max_events)
 {
     for (auto &source : sources)
         source->start();
@@ -219,12 +219,24 @@ System::run(std::uint64_t max_events)
     bool all_done = true;
     for (auto &source : sources)
         all_done &= source->done();
-    if (!all_done ||
-        stats.tasksFinished.value() != trace.size()) {
+
+    LivenessReport report;
+    report.tasksFinished =
+        static_cast<std::size_t>(stats.tasksFinished.value());
+    report.eventsExecuted = eq.executed();
+    report.completed = all_done && report.tasksFinished == trace.size();
+    report.wedged = !report.completed && eq.empty();
+    return report;
+}
+
+RunResult
+System::run(std::uint64_t max_events)
+{
+    LivenessReport liveness = runWatchdog(max_events);
+    if (!liveness.completed) {
         fatal("simulation ended early: %zu/%zu tasks finished "
-              "(deadlock or event limit)",
-              static_cast<std::size_t>(stats.tasksFinished.value()),
-              trace.size());
+              "(%s)", liveness.tasksFinished, trace.size(),
+              liveness.wedged ? "deadlock" : "event limit");
     }
 
     RunResult result;

@@ -98,6 +98,20 @@ bool isDataPartitioned(const TaskTrace &trace,
                        const std::vector<unsigned> &thread_of);
 
 /**
+ * Liveness verdict of a watchdog-bounded run: deadlock-hunting tests
+ * assert on this instead of hanging (or fatal()ing the process).
+ */
+struct LivenessReport
+{
+    bool completed = false; ///< every task of the trace finished
+    /// Event queue drained with tasks unfinished — a true protocol
+    /// wedge (a deadlock), as opposed to hitting the event limit.
+    bool wedged = false;
+    std::size_t tasksFinished = 0;
+    std::uint64_t eventsExecuted = 0;
+};
+
+/**
  * A complete simulated task superscalar machine: one or more frontend
  * pipelines over a shared backend. Build instances with
  * SystemBuilder.
@@ -110,6 +124,15 @@ class System
      * @param max_events Safety valve against runaway simulations.
      */
     RunResult run(std::uint64_t max_events = ~std::uint64_t(0));
+
+    /**
+     * Liveness watchdog: run like run(), but *report* an early end
+     * instead of fatal()ing — `wedged` distinguishes a drained event
+     * queue (real deadlock) from an exhausted event budget. Call once
+     * per System, like run(); on `completed` the machine has run to
+     * the same state run() would have produced.
+     */
+    LivenessReport runWatchdog(std::uint64_t max_events);
 
     /**
      * Write a per-module utilization report (packets serviced, busy

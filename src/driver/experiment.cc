@@ -66,6 +66,16 @@ applyNocArgs(const CliArgs &args, PipelineConfig &cfg)
         cfg.idealAdmission = true;
 }
 
+bool
+applyRelocateArgs(const CliArgs &args, RelocationOptions &opts)
+{
+    opts.layoutSeed = static_cast<std::uint64_t>(args.getLong(
+        "relocate-seed", static_cast<long>(opts.layoutSeed)));
+    opts.alignment = static_cast<std::uint64_t>(args.getLong(
+        "relocate-align", static_cast<long>(opts.alignment)));
+    return args.has("relocate");
+}
+
 TaskTrace
 makeWorkload(const std::string &name, double scale, std::uint64_t seed)
 {
@@ -104,10 +114,13 @@ runParallelReal(const starss::RealProgramInfo &info, std::uint64_t seed,
     result.bitIdentical =
         parallel->snapshot() == sequential->snapshot();
 
+    // Simulate on the relocated trace: synthetic operand addresses
+    // make simSpeedup a pure function of (program, config) instead of
+    // varying with where the allocator placed the program's memory.
     PipelineConfig cfg;
     cfg.numCores = threads;
     result.simSpeedup =
-        runHardware(cfg, parallel->context().trace()).speedup;
+        runHardware(cfg, parallel->context().relocatedTrace()).speedup;
     return result;
 }
 

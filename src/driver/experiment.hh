@@ -14,6 +14,7 @@
 #include "core/pipeline.hh"
 #include "driver/cli.hh"
 #include "swruntime/sw_runtime.hh"
+#include "trace/relocate.hh"
 #include "trace/task_trace.hh"
 #include "workload/starss_programs.hh"
 #include "workload/workload.hh"
@@ -56,6 +57,17 @@ PipelineConfig paperConfig(unsigned cores = 256);
 void applyNocArgs(const CliArgs &args, PipelineConfig &cfg);
 
 /**
+ * Apply the trace-relocation command-line knobs to @p opts:
+ * `--relocate-seed=N` (seeded layout shuffle for layout-sensitivity
+ * sweeps, 0 = canonical first-touch order) and `--relocate-align=N`
+ * (target region alignment). Returns true when `--relocate` was
+ * given — callers decide whether relocation defaults on or off for
+ * their trace (benches that CI-gate real-kernel rows relocate
+ * unconditionally).
+ */
+bool applyRelocateArgs(const CliArgs &args, RelocationOptions &opts);
+
+/**
  * Generate the named benchmark at @p scale (1.0 = paper-sized window
  * pressure, tens of thousands of tasks). Calls fatal() for unknown
  * names.
@@ -85,7 +97,9 @@ struct RealExecResult
  * sequentially (wall-clock reference), once in graph mode on
  * @p threads, and once through the simulated pipeline with
  * @p threads cores — so callers can report measured wall-clock
- * speedup next to the simulator's predicted speedup. Fresh program
+ * speedup next to the simulator's predicted speedup. The simulated
+ * run uses the program's *relocated* trace (see trace/relocate.hh),
+ * so simSpeedup is deterministic across runs and machines. Fresh program
  * instances are built per execution; `bitIdentical` reports the
  * differential check.
  *

@@ -8,8 +8,9 @@
 namespace tss::starss
 {
 
-RenameStore::RenameStore(const TaskTrace &task_trace)
-    : trace(task_trace)
+RenameStore::RenameStore(const TaskTrace &task_trace,
+                         const RelocationMap *relocation)
+    : trace(task_trace), reloc(relocation)
 {
     auto n = static_cast<std::uint32_t>(trace.size());
     readVersionOf.resize(n);

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "runtime/starss.hh"
+#include "trace/relocate.hh"
 #include "trace/task_trace.hh"
 
 namespace tss::starss
@@ -42,8 +43,17 @@ class RenameStore
      * Run the program-order version-assignment pass (the software
      * ORT/OVT decode) over @p task_trace. The trace must outlive the
      * store.
+     *
+     * @p relocation (optional, must outlive the store) is the map a
+     * relocated *simulated* run of this program used: when present,
+     * objectAddress()/ownerShard() report the rebased addresses, so
+     * the software mirror matches the hardware decision made on the
+     * relocated trace. Execution (bind()/copyBack()) always works on
+     * the real home addresses — relocation only affects simulated
+     * routing, never program memory.
      */
-    explicit RenameStore(const TaskTrace &task_trace);
+    explicit RenameStore(const TaskTrace &task_trace,
+                         const RelocationMap *relocation = nullptr);
 
     /** Number of versions the decode created (rename buffers used). */
     std::size_t numVersions() const { return versionObject.size(); }
@@ -80,11 +90,15 @@ class RenameStore
         return writeVersionOf[t][operand];
     }
 
-    /** Home address of the object a version belongs to. */
+    /** Address of the object a version belongs to: the home address,
+     *  or its relocated image when the store mirrors a relocated
+     *  simulated run. */
     std::uint64_t
     objectAddress(std::int64_t version) const
     {
-        return versionObject[static_cast<std::size_t>(version)].first;
+        std::uint64_t home =
+            versionObject[static_cast<std::size_t>(version)].first;
+        return reloc ? reloc->relocate(home) : home;
     }
 
     /**
@@ -112,6 +126,7 @@ class RenameStore
     VersionBuffer &materialize(std::int64_t version);
 
     const TaskTrace &trace;
+    const RelocationMap *reloc; ///< simulated-routing address rebase
 
     /// Per-task, per-operand version consumed / produced (-1: none or
     /// program memory).

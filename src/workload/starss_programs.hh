@@ -48,12 +48,18 @@ class RealProgram
     std::vector<std::uint8_t> snapshot() const;
 
   protected:
-    /** Register @p bytes at @p ptr as part of the snapshot. */
+    /**
+     * Register @p bytes at @p ptr as part of the snapshot *and* in
+     * the context's relocation registry (trace/relocate.hh), so the
+     * captured trace can be rebased onto the synthetic address space
+     * deterministically. Call before spawning tasks that touch it.
+     */
     void
     addRegion(const void *ptr, std::size_t bytes)
     {
         regions.emplace_back(static_cast<const std::uint8_t *>(ptr),
                              bytes);
+        ctx.registerRegion(ptr, bytes);
     }
 
     TaskContext ctx;

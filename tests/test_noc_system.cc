@@ -4,8 +4,10 @@
  * gateway-side DecodeBatch coalescing (correctness, message savings,
  * park/resume under ORT pressure), slice packet-credit flow control
  * (liveness incl. the ROB-head escape), the idealAdmission
- * ticket-cost oracle (still ordered, still replayable), and decision
- * equivalence across topology x placement. All traces use synthetic
+ * ticket-cost oracle (still ordered, still replayable), decision
+ * equivalence across topology x placement, and the deterministic
+ * tiny-OVT ordered-decode wedge (version-slot capacity deadlock),
+ * asserted via the System liveness watchdog. All traces use synthetic
  * AddressSpace addresses, so every run is bit-deterministic.
  */
 
@@ -245,6 +247,90 @@ TEST(IdealAdmission, StaysOrderedAndStillParksOperands)
     EXPECT_EQ(ideal.numTasks, trace.size());
     EXPECT_GT(real.decodeDeferrals, 0u);
     EXPECT_GT(ideal.decodeDeferrals, 0u);
+}
+
+/**
+ * Version-slot capacity deadlock under ordered decode (ROADMAP
+ * "version-slot capacity deadlock"): with a deliberately tiny OVT and
+ * several sharing generating threads, version-slot exhaustion wedges
+ * ordered decode — parked out-of-turn operands hold slots whose
+ * release depends on operands that can no longer be admitted. The
+ * repro is fully deterministic (synthetic addresses, deterministic
+ * event queue) and asserted through the System liveness watchdog: the
+ * event queue *drains* with tasks unfinished (a true protocol
+ * deadlock), rather than the test hanging into its ctest TIMEOUT.
+ *
+ * This is a pre-existing protocol property, not a regression —
+ * realistic OVT capacities are orders of magnitude above the wedge
+ * point (paper section VI-B sizes the OVT at 512 KB = tens of
+ * thousands of slots; the wedge needs tens). The test is
+ * failing-by-construction for the future reserve/escape fix
+ * (analogous to the window's ROB-head waiver): when that fix lands,
+ * flip the wedge expectations to completion ones.
+ */
+TEST(OvtCapacity, TinyOvtWedgesOrderedDecodeDeterministically)
+{
+    TaskTrace trace = wideTrace(80, 64, 5);
+    PipelineConfig cfg;
+    cfg.numCores = 8;
+    cfg.numTrs = 2;
+    cfg.numOrt = 1;
+    cfg.numPipelines = 2;
+    cfg.trsTotalBytes = 1024 * 1024;
+    cfg.ortTotalBytes = 128 * 1024;
+    // 16 version slots per slice (16 B per slot, 2 slices).
+    cfg.ovtTotalBytes = Bytes(16) * 16 * cfg.totalOrt();
+
+    auto sys = SystemBuilder(cfg, trace)
+                   .threads(roundRobin(trace.size(), 3))
+                   .build();
+    ASSERT_TRUE(sys->sharedData());
+    LivenessReport rep = sys->runWatchdog(200'000'000ULL);
+    EXPECT_FALSE(rep.completed);
+    EXPECT_TRUE(rep.wedged)
+        << "expected a drained event queue (true deadlock), not an "
+        << "event-limit stop; finished " << rep.tasksFinished << "/"
+        << trace.size();
+    EXPECT_LT(rep.tasksFinished, trace.size());
+}
+
+/**
+ * The minimum-safe OVT bound of the repro above, measured by bisection
+ * and pinned here so capacity-sizing changes surface loudly: this
+ * trace (80 wide tasks over 64 shared objects, 3 generating threads,
+ * 2 slices) wedges at 85 slots per slice and completes at 86. The
+ * bound is a property of the trace's concurrent live-version demand;
+ * a reserve/escape fix should drive the wedge point down to the
+ * protocol's structural minimum instead of the workload's peak.
+ */
+TEST(OvtCapacity, MinimumSafeOvtBoundForWideRepro)
+{
+    TaskTrace trace = wideTrace(80, 64, 5);
+    constexpr unsigned safeSlots = 86;
+
+    for (unsigned slots : {safeSlots - 1, safeSlots}) {
+        PipelineConfig cfg;
+        cfg.numCores = 8;
+        cfg.numTrs = 2;
+        cfg.numOrt = 1;
+        cfg.numPipelines = 2;
+        cfg.trsTotalBytes = 1024 * 1024;
+        cfg.ortTotalBytes = 128 * 1024;
+        cfg.ovtTotalBytes = Bytes(slots) * 16 * cfg.totalOrt();
+
+        auto sys = SystemBuilder(cfg, trace)
+                       .threads(roundRobin(trace.size(), 3))
+                       .build();
+        LivenessReport rep = sys->runWatchdog(200'000'000ULL);
+        if (slots < safeSlots) {
+            EXPECT_TRUE(rep.wedged)
+                << slots << " slots/slice should still wedge";
+        } else {
+            EXPECT_TRUE(rep.completed)
+                << slots << " slots/slice should complete";
+            EXPECT_EQ(rep.tasksFinished, trace.size());
+        }
+    }
 }
 
 TEST(TopologyPlacement, DecisionsCompleteAcrossFabrics)

@@ -5,8 +5,10 @@
  * frontend rejected), shard routing against PipelineConfig::shardOf,
  * decode scaling across pipelines, deadlock-freedom of the ticket
  * protocol under window pressure, the differential oracle across
- * shard counts, and a golden regression pinning numPipelines=1
- * behavior bit-identical to the pre-shard frontend.
+ * shard counts, a golden regression pinning numPipelines=1 behavior
+ * bit-identical to the pre-shard frontend, and golden decode stats
+ * for a relocated real StarSs kernel (trace/relocate.hh) at 1 and 4
+ * pipelines.
  */
 
 #include <gtest/gtest.h>
@@ -89,6 +91,50 @@ TEST(ShardedFrontend, SinglePipelineBitIdenticalToPreShard)
         EXPECT_EQ(r.versionsCreated, g.versionsCreated) << g.workload;
         EXPECT_EQ(r.versionsRenamed, g.versionsRenamed) << g.workload;
         EXPECT_EQ(r.dmaWritebacks, g.dmaWritebacks) << g.workload;
+    }
+}
+
+/**
+ * Golden decode stats for a *real* StarSs kernel: blocked Cholesky,
+ * captured through the StarSs API and relocated onto the synthetic
+ * address space (trace/relocate.hh), decoded by 1- and 4-pipeline
+ * sharded frontends with 8 generating threads — the fig17 reference
+ * configuration. Before relocation these numbers varied with ASLR
+ * (heap pointers fed shardOf), so real-program timing regressions
+ * could hide behind run-to-run noise; now every counter is a pure
+ * function of (program, config) and pinned here. Constants captured
+ * on this PR's build; a mismatch means simulated real-kernel timing
+ * changed — re-baseline deliberately or fix the regression.
+ */
+TEST(ShardedFrontend, RelocatedCholeskyGoldenStats)
+{
+    struct Golden
+    {
+        unsigned pipes;
+        Cycle makespan;
+        std::uint64_t events;
+        std::uint64_t messages;
+        std::uint64_t versionsCreated;
+        double decodeRateCycles;
+    };
+    const Golden goldens[] = {
+        {1u, 1492615, 11067, 4344, 165, 115.170732},
+        {4u, 1495277, 11440, 4532, 165, 59.25},
+    };
+
+    for (const Golden &g : goldens) {
+        auto program = starss::makeCholeskyProgram(1, 9, 8);
+        TaskTrace trace = program->context().relocatedTrace();
+        PipelineConfig cfg = paperConfig(64);
+        cfg.numPipelines = g.pipes;
+        RunResult r = runHardwareThreads(cfg, trace, 8);
+        EXPECT_EQ(r.makespan, g.makespan) << g.pipes << " pipelines";
+        EXPECT_EQ(r.eventsExecuted, g.events) << g.pipes << " pipelines";
+        EXPECT_EQ(r.messagesOnNoc, g.messages) << g.pipes << " pipelines";
+        EXPECT_EQ(r.versionsCreated, g.versionsCreated)
+            << g.pipes << " pipelines";
+        EXPECT_NEAR(r.decodeRateCycles, g.decodeRateCycles, 1e-4)
+            << g.pipes << " pipelines";
     }
 }
 
