@@ -44,17 +44,35 @@ in one job and fails if any row — in particular the relocated
 real-kernel rows — changed between invocations (e.g. an address
 sneaking back into simulated routing).
 
+* sim -- ``fig18_sim_speedup --quick``: the parallel simulation
+  engine (src/sim/sim_engine.hh). The ``determinism`` section
+  (makespan / events / messages of the sequential reference run)
+  gates *exactly* — any drift means simulated semantics changed. The
+  per-thread-count throughput rows are advisory (wall-clock, and the
+  bench itself already exits non-zero if any thread count is not
+  bit-identical to sequential).
+
+Every gated comparison also hard-fails when either JSON lacks the
+machine fingerprint (``machine`` with ``hardware_concurrency`` /
+``platform`` / ``machine``): a baseline without provenance makes the
+advisory wall numbers uninterpretable, and historically meant a
+hand-edited file.
+
 Usage:
   compare_bench.py capture-kernel   --bench PATH --out FRESH.json
   compare_bench.py capture-parallel --bench PATH --out FRESH.json
   compare_bench.py capture-noc      --bench PATH --out FRESH.json
-  compare_bench.py compare --kind {kernel,parallel,noc} \
+  compare_bench.py capture-sim      --bench PATH --out FRESH.json
+  compare_bench.py compare --kind {kernel,parallel,noc,sim} \
       --baseline BASE.json --fresh FRESH.json [--tolerance 0.15]
   compare_bench.py determinism --a RUN1.json --b RUN2.json
+  compare_bench.py selftest
 
 ``capture-*`` runs the benchmark and writes a fresh JSON (uploaded as
 a CI artifact — use it to re-baseline by hand). ``compare`` and
-``determinism`` exit non-zero on regression/divergence.
+``determinism`` exit non-zero on regression/divergence. ``selftest``
+exercises the gate logic itself on synthetic fixtures (run by the
+perf-regression CI job before any real comparison).
 """
 
 import argparse
@@ -81,6 +99,24 @@ def machine_fingerprint():
     except OSError:
         pass
     return info
+
+
+REQUIRED_FINGERPRINT = ("hardware_concurrency", "platform", "machine")
+
+
+def check_fingerprint(data, label, gate):
+    """Hard-fail a gated comparison when @p data lacks the machine
+    fingerprint: advisory wall numbers are meaningless without
+    provenance, and a missing fingerprint means the file was not
+    produced by a capture-* run."""
+    machine = data.get("machine")
+    if not isinstance(machine, dict):
+        gate.failures.append(f"{label}: no machine fingerprint")
+        return
+    for field in REQUIRED_FINGERPRINT:
+        if field not in machine:
+            gate.failures.append(
+                f"{label}: machine fingerprint missing '{field}'")
 
 
 def parse_fig12_csv(text):
@@ -123,9 +159,9 @@ def run_bench(argv):
     return result
 
 
-def capture_kernel(bench, out):
+def capture_kernel(bench, out, extra=()):
     begin = time.monotonic()
-    result = run_bench([bench, "--quick", "--csv"])
+    result = run_bench([bench, "--quick", "--csv", *extra])
     wall = time.monotonic() - begin
     fresh = {
         "machine": machine_fingerprint(),
@@ -177,9 +213,9 @@ def parse_fig17_csv(text):
     return out
 
 
-def capture_noc(bench, out):
+def capture_noc(bench, out, extra=()):
     begin = time.monotonic()
-    result = run_bench([bench, "--quick", "--csv"])
+    result = run_bench([bench, "--quick", "--csv", *extra])
     wall = time.monotonic() - begin
     fresh = {
         "machine": machine_fingerprint(),
@@ -192,8 +228,8 @@ def capture_noc(bench, out):
     print(f"captured noc metrics in {wall:.1f}s -> {out}")
 
 
-def capture_parallel(bench, out):
-    result = run_bench([bench])
+def capture_parallel(bench, out, extra=()):
+    result = run_bench([bench, *extra])
     fresh = json.loads(result.stdout)
     fresh["machine"] = {**fresh.get("machine", {}),
                         **machine_fingerprint()}
@@ -204,6 +240,23 @@ def capture_parallel(bench, out):
         f"{r['threads']}t x{r['wall_speedup']:.2f}"
         for r in fresh["graph_mode"])
     print(f"captured parallel metrics ({rows}) -> {out}")
+
+
+def capture_sim(bench, out, extra=()):
+    begin = time.monotonic()
+    result = run_bench([bench, "--quick", *extra])
+    wall = time.monotonic() - begin
+    fresh = json.loads(result.stdout)
+    fresh["machine"] = {**fresh.get("machine", {}),
+                        **machine_fingerprint()}
+    fresh["fig18_quick_wall_seconds"] = round(wall, 3)
+    with open(out, "w") as f:
+        json.dump(fresh, f, indent=2)
+        f.write("\n")
+    rows = ", ".join(
+        f"{r['sim_threads']}t x{r['speedup']:.2f}"
+        for r in fresh["sim_scaling"])
+    print(f"captured sim metrics ({rows}) in {wall:.1f}s -> {out}")
 
 
 class Gate:
@@ -342,6 +395,46 @@ def compare_noc(baseline, fresh, gate):
         gate.failures.append("shape: ticket section empty")
 
 
+def compare_sim(baseline, fresh, gate):
+    """The parallel engine's gate: simulated semantics exactly,
+    throughput advisory."""
+    base_det = baseline.get("determinism", {})
+    new_det = fresh.get("determinism", {})
+    if not base_det:
+        gate.failures.append("sim baseline has no determinism section")
+    for key, value in base_det.items():
+        if key not in new_det:
+            gate.failures.append(f"sim determinism {key} missing")
+        elif new_det[key] != value:
+            # Zero tolerance: these are simulated quantities; any
+            # drift means the engine's semantics changed.
+            gate.failures.append(
+                f"sim determinism {key}: fresh {new_det[key]} != "
+                f"baseline {value}")
+
+    fresh_rows = fresh.get("sim_scaling", [])
+    if not fresh_rows:
+        gate.failures.append("sim fresh has no sim_scaling rows")
+    for row in fresh_rows:
+        if not row.get("bit_identical", False):
+            gate.failures.append(
+                f"sim_scaling {row.get('sim_threads')}t not "
+                "bit-identical to sequential")
+
+    base_rows = {r["sim_threads"]: r
+                 for r in baseline.get("sim_scaling", [])}
+    for row in fresh_rows:
+        base_row = base_rows.get(row["sim_threads"])
+        if base_row is None:
+            continue
+        gate.check(f"sim {row['sim_threads']}t events/sec",
+                   row["events_per_sec"], base_row["events_per_sec"],
+                   higher_is_better=True, advisory=True)
+        gate.check(f"sim {row['sim_threads']}t speedup",
+                   row["speedup"], base_row["speedup"],
+                   higher_is_better=True, advisory=True)
+
+
 def flatten(value, prefix=""):
     """Nested dict -> {"a/b/c": leaf} for readable exact diffs."""
     if not isinstance(value, dict):
@@ -378,17 +471,119 @@ def check_determinism(path_a, path_b):
     return 0
 
 
+def selftest():
+    """Exercise the gate logic on synthetic fixtures; exits non-zero
+    if the gate itself has regressed (run by CI before any real
+    comparison, so a broken gate cannot silently pass everything)."""
+    import copy
+    import tempfile
+
+    checks = []
+
+    def expect(name, cond):
+        checks.append((name, cond))
+        print(f"  [{'ok' if cond else 'FAIL'}] {name}")
+
+    # Gate math: a regression past tolerance fails, within passes.
+    g = Gate(0.10)
+    g.check("worse-lower", 0.8, 1.0, higher_is_better=True)
+    expect("lower-is-worse flagged", g.failures == ["worse-lower"])
+    g = Gate(0.10)
+    g.check("ok-lower", 0.95, 1.0, higher_is_better=True)
+    g.check("ok-higher", 1.05, 1.0, higher_is_better=False)
+    expect("within-tolerance passes", g.failures == [])
+    g = Gate(0.10)
+    g.check("advisory", 0.1, 1.0, higher_is_better=True,
+            advisory=True)
+    expect("advisory never fails", g.failures == [])
+
+    # Fingerprint: gated files without provenance hard-fail.
+    fingerprinted = {"machine": machine_fingerprint()}
+    g = Gate(0.10)
+    check_fingerprint(fingerprinted, "base", g)
+    expect("full fingerprint accepted", g.failures == [])
+    for bad in ({}, {"machine": "x86_64"},
+                {"machine": {"hardware_concurrency": 1}}):
+        g = Gate(0.10)
+        check_fingerprint(bad, "base", g)
+        expect(f"fingerprint {bad!r} rejected", g.failures != [])
+
+    # The sim gate: determinism drift and a non-bit-identical row
+    # each hard-fail; a clean fresh run passes with rows advisory.
+    sim = {
+        "machine": machine_fingerprint(),
+        "determinism": {"makespan": 1000, "events": 2000,
+                        "messages": 300},
+        "sim_scaling": [
+            {"sim_threads": 1, "wall_seconds": 1.0,
+             "events_per_sec": 2000.0, "speedup": 1.0,
+             "bit_identical": True},
+            {"sim_threads": 2, "wall_seconds": 0.6,
+             "events_per_sec": 3333.3, "speedup": 1.66,
+             "bit_identical": True},
+        ],
+    }
+    g = Gate(0.10)
+    compare_sim(sim, copy.deepcopy(sim), g)
+    expect("clean sim compare passes", g.failures == [])
+    drifted = copy.deepcopy(sim)
+    drifted["determinism"]["makespan"] = 1001
+    g = Gate(0.10)
+    compare_sim(sim, drifted, g)
+    expect("sim determinism drift fails", g.failures != [])
+    diverged = copy.deepcopy(sim)
+    diverged["sim_scaling"][1]["bit_identical"] = False
+    g = Gate(0.10)
+    compare_sim(sim, diverged, g)
+    expect("non-bit-identical sim row fails", g.failures != [])
+    slow = copy.deepcopy(sim)
+    slow["sim_scaling"][1]["events_per_sec"] = 10.0
+    g = Gate(0.10)
+    compare_sim(sim, slow, g)
+    expect("sim throughput drop stays advisory", g.failures == [])
+
+    # Exact determinism diff on noc captures.
+    run = {"machine": machine_fingerprint(),
+           "fig17_quick": {"sweep": {"ring/adjacent/solo":
+                                     {"decode_cy": 10.5}}}}
+    changed = copy.deepcopy(run)
+    changed["fig17_quick"]["sweep"]["ring/adjacent/solo"][
+        "decode_cy"] = 10.6
+    with tempfile.TemporaryDirectory() as tmp:
+        a, b, c = (os.path.join(tmp, n) for n in ("a", "b", "c"))
+        for path, data in ((a, run), (b, run), (c, changed)):
+            with open(path, "w") as f:
+                json.dump(data, f)
+        expect("identical captures deterministic",
+               check_determinism(a, b) == 0)
+        expect("changed cell detected",
+               check_determinism(a, c) == 1)
+
+    failed = [name for name, cond in checks if not cond]
+    if failed:
+        print(f"selftest: {len(failed)} check(s) failed: "
+              + "; ".join(failed))
+        return 1
+    print(f"selftest: all {len(checks)} checks passed")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="cmd", required=True)
 
-    for name in ("capture-kernel", "capture-parallel", "capture-noc"):
+    for name in ("capture-kernel", "capture-parallel", "capture-noc",
+                 "capture-sim"):
         p = sub.add_parser(name)
         p.add_argument("--bench", required=True)
         p.add_argument("--out", required=True)
+        p.add_argument("--arg", action="append", default=[],
+                       help="extra argument passed to the bench "
+                            "(repeatable), e.g. --arg=--sim-threads=4")
 
     p = sub.add_parser("compare")
-    p.add_argument("--kind", choices=("kernel", "parallel", "noc"),
+    p.add_argument("--kind",
+                   choices=("kernel", "parallel", "noc", "sim"),
                    required=True)
     p.add_argument("--baseline", required=True)
     p.add_argument("--fresh", required=True)
@@ -398,17 +593,24 @@ def main():
     p.add_argument("--a", required=True)
     p.add_argument("--b", required=True)
 
+    sub.add_parser("selftest")
+
     args = parser.parse_args()
+    if args.cmd == "selftest":
+        return selftest()
     if args.cmd == "determinism":
         return check_determinism(args.a, args.b)
     if args.cmd == "capture-kernel":
-        capture_kernel(args.bench, args.out)
+        capture_kernel(args.bench, args.out, args.arg)
         return 0
     if args.cmd == "capture-parallel":
-        capture_parallel(args.bench, args.out)
+        capture_parallel(args.bench, args.out, args.arg)
         return 0
     if args.cmd == "capture-noc":
-        capture_noc(args.bench, args.out)
+        capture_noc(args.bench, args.out, args.arg)
+        return 0
+    if args.cmd == "capture-sim":
+        capture_sim(args.bench, args.out, args.arg)
         return 0
 
     with open(args.baseline) as f:
@@ -418,10 +620,14 @@ def main():
     gate = Gate(args.tolerance)
     print(f"comparing {args.kind} against {args.baseline} "
           f"(tolerance +/-{gate.tolerance:.0%})")
+    check_fingerprint(baseline, f"baseline {args.baseline}", gate)
+    check_fingerprint(fresh, f"fresh {args.fresh}", gate)
     if args.kind == "kernel":
         compare_kernel(baseline, fresh, gate)
     elif args.kind == "noc":
         compare_noc(baseline, fresh, gate)
+    elif args.kind == "sim":
+        compare_sim(baseline, fresh, gate)
     else:
         compare_parallel(baseline, fresh, gate)
     if gate.failures:

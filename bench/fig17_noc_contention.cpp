@@ -43,7 +43,12 @@
  *
  * Usage: fig17_noc_contention [--quick|--full] [--csv]
  *        [--pipes=N] [--gen-threads=N] [--credits=N]
- *        [--relocate-seed=N] [--relocate-align=N]
+ *        [--relocate-seed=N] [--relocate-align=N] [--sim-threads=N]
+ *
+ * `--sim-threads=N` drains every simulation on N host threads
+ * (sim/sim_engine.hh); all simulated numbers are bit-identical for
+ * any value — CI captures the sweep at 1 and 4 threads and diffs the
+ * two JSONs exactly.
  */
 
 #include <cstdlib>
@@ -154,6 +159,8 @@ main(int argc, char **argv)
     auto gen_threads =
         static_cast<unsigned>(args.getLong("gen-threads", 8));
     auto credits = static_cast<unsigned>(args.getLong("credits", 1));
+    auto sim_threads =
+        static_cast<unsigned>(args.getLong("sim-threads", 1));
 
     tss::RelocationOptions reloc;
     tss::applyRelocateArgs(args, reloc);
@@ -209,6 +216,7 @@ main(int argc, char **argv)
             tss::PipelineConfig cfg = tss::paperConfig(256);
             cfg.numPipelines = pipes;
             cfg.slicePacketCredits = credits;
+            cfg.simThreads = sim_threads;
             cfg.nocTopology = pt.topology;
             cfg.nocPlacement = pt.placement;
             cfg.batchOperands = pt.batch;
@@ -284,6 +292,7 @@ main(int argc, char **argv)
                 tss::PipelineConfig cfg = tss::paperConfig(256);
                 cfg.numPipelines = p;
                 cfg.slicePacketCredits = credits;
+                cfg.simThreads = sim_threads;
                 cfg.idealAdmission = oracle;
                 tss::RunResult r = tss::runHardwareThreads(
                     cfg, prog.trace, gen_threads);

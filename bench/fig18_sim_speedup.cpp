@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Parallel simulation engine scaling ("figure 18" — host-side, beyond
+ * the paper): event-drain throughput of the windowed conservative
+ * engine (sim/sim_engine.hh) at 1, 2 and 4 host threads over a
+ * 4-pipeline machine, on the wide-task shared-data program of fig17.
+ *
+ * Two kinds of numbers come out:
+ *
+ *  - *Determinism* (gated hard in CI): every simulated statistic and
+ *    the complete scheduling decision must be bit-identical across
+ *    thread counts. The bench exits non-zero on any divergence, and
+ *    the makespan/event/message triple is recorded in the JSON so
+ *    compare_bench.py re-checks it against BENCH_sim.json exactly.
+ *  - *Throughput* (advisory): wall seconds, events/second and
+ *    self-relative speedup per thread count. Wall time is not
+ *    comparable across machines — and a 1-core CI runner cannot show
+ *    parallel speedup at all — so these never gate; the machine
+ *    fingerprint in BENCH_sim.json tells a reader how to weigh them.
+ *
+ * Output is a JSON object on stdout (consumed by
+ * `compare_bench.py capture-sim`); human-readable progress goes to
+ * stderr.
+ *
+ * Usage: fig18_sim_speedup [--quick|--full] [--pipes=N]
+ *        [--gen-threads=N] [--reps=N]
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/cli.hh"
+#include "driver/experiment.hh"
+#include "sim/random.hh"
+#include "workload/address_space.hh"
+#include "workload/builder.hh"
+
+namespace
+{
+
+/** The fig17 wide-task shared-data generator (see that bench). */
+tss::TaskTrace
+makeWideTrace(unsigned tasks, std::uint64_t seed)
+{
+    tss::TaskTrace trace;
+    trace.name = "wide";
+    trace.addKernel("wide");
+    tss::TaskBuilder b(trace);
+    tss::AddressSpace mem(0x40000000);
+    std::vector<std::uint64_t> objs;
+    for (unsigned i = 0; i < 96; ++i)
+        objs.push_back(mem.alloc(512));
+
+    tss::Rng rng(seed);
+    constexpr unsigned reads = 9, writes = 3;
+    for (unsigned t = 0; t < tasks; ++t) {
+        std::vector<unsigned> picks;
+        while (picks.size() < reads + writes) {
+            auto cand = static_cast<unsigned>(rng.range(objs.size()));
+            bool dup = false;
+            for (unsigned p : picks)
+                dup |= p == cand;
+            if (!dup)
+                picks.push_back(cand);
+        }
+        b.begin(0,
+                static_cast<tss::Cycle>(rng.rangeInclusive(300, 600)));
+        for (unsigned i = 0; i < reads; ++i)
+            b.in(objs[picks[i]], 512);
+        for (unsigned i = 0; i < writes; ++i)
+            b.out(objs[picks[reads + i]], 512);
+        b.commit();
+    }
+    return trace;
+}
+
+/** True when every deterministic field of @p a and @p b agrees. */
+bool
+identical(const tss::RunResult &a, const tss::RunResult &b)
+{
+    return a.makespan == b.makespan &&
+        a.eventsExecuted == b.eventsExecuted &&
+        a.messagesOnNoc == b.messagesOnNoc &&
+        a.versionsCreated == b.versionsCreated &&
+        a.versionsRenamed == b.versionsRenamed &&
+        a.dmaWritebacks == b.dmaWritebacks &&
+        a.gatewayStallCycles == b.gatewayStallCycles &&
+        a.decodeRateCycles == b.decodeRateCycles &&
+        a.startOrder == b.startOrder && a.coreOf == b.coreOf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    tss::CliArgs args(argc, argv);
+    bool quick = args.scale(0.0, 1.0, 1.0) < 0.5; // --quick selects 0
+    auto pipes = static_cast<unsigned>(args.getLong("pipes", 4));
+    auto gen_threads =
+        static_cast<unsigned>(args.getLong("gen-threads", 8));
+    auto reps = static_cast<unsigned>(
+        args.getLong("reps", quick ? 1 : 3));
+
+    tss::TaskTrace trace = makeWideTrace(quick ? 1000 : 6000, 1);
+
+    tss::PipelineConfig base = tss::paperConfig(256);
+    base.numPipelines = pipes;
+    base.slicePacketCredits = 1;
+
+    std::cerr << "# fig18: wide x " << trace.size() << " tasks, "
+              << pipes << " pipelines, " << gen_threads
+              << " generating threads, best of " << reps << " rep(s); "
+              << "hardware_concurrency="
+              << std::thread::hardware_concurrency() << "\n";
+
+    struct Row
+    {
+        unsigned simThreads;
+        double wallSeconds;
+        double eventsPerSec;
+        double speedup;
+        bool bitIdentical;
+    };
+    std::vector<Row> rows;
+    tss::RunResult baseline;
+    int failures = 0;
+
+    for (unsigned threads : {1u, 2u, 4u}) {
+        tss::PipelineConfig cfg = base;
+        cfg.simThreads = threads;
+
+        tss::RunResult r;
+        double best = 0;
+        for (unsigned rep = 0; rep < reps; ++rep) {
+            auto begin = std::chrono::steady_clock::now();
+            r = tss::runHardwareThreads(cfg, trace, gen_threads);
+            auto end = std::chrono::steady_clock::now();
+            double wall =
+                std::chrono::duration<double>(end - begin).count();
+            if (rep == 0 || wall < best)
+                best = wall;
+        }
+
+        bool bit = true;
+        if (threads == 1) {
+            baseline = r;
+        } else {
+            bit = identical(r, baseline);
+            if (!bit) {
+                std::cerr << "BUG: simThreads=" << threads
+                          << " diverged from the sequential run "
+                          << "(makespan " << r.makespan << " vs "
+                          << baseline.makespan << ", events "
+                          << r.eventsExecuted << " vs "
+                          << baseline.eventsExecuted << ")\n";
+                ++failures;
+            }
+        }
+
+        double eps = best > 0
+            ? static_cast<double>(r.eventsExecuted) / best
+            : 0;
+        double speedup =
+            rows.empty() ? 1.0 : rows[0].wallSeconds / best;
+        rows.push_back({threads, best, eps, speedup, bit});
+        std::cerr << "#   " << threads << " thread(s): " << best
+                  << " s, " << eps << " events/s, x" << speedup
+                  << (bit ? "" : "  DIVERGED") << "\n";
+    }
+
+    std::cout << "{\n  \"machine\": {\"hardware_concurrency\": "
+              << std::thread::hardware_concurrency() << "},\n";
+    std::cout << "  \"workload\": {\"name\": \"wide\", \"tasks\": "
+              << trace.size() << ", \"pipelines\": " << pipes
+              << ", \"gen_threads\": " << gen_threads << "},\n";
+    std::cout << "  \"determinism\": {\"makespan\": "
+              << baseline.makespan << ", \"events\": "
+              << baseline.eventsExecuted << ", \"messages\": "
+              << baseline.messagesOnNoc << ", \"versions_created\": "
+              << baseline.versionsCreated << "},\n";
+    std::cout << "  \"sim_scaling\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &row = rows[i];
+        std::cout << (i ? ",\n" : "") << "    {\"sim_threads\": "
+                  << row.simThreads << ", \"wall_seconds\": "
+                  << row.wallSeconds << ", \"events_per_sec\": "
+                  << row.eventsPerSec << ", \"speedup\": "
+                  << row.speedup << ", \"bit_identical\": "
+                  << (row.bitIdentical ? "true" : "false") << "}";
+    }
+    std::cout << "\n  ]\n}\n";
+
+    return failures ? 1 : 0;
+}

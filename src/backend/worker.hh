@@ -31,6 +31,7 @@ class WorkerCore : public SimObject, public Endpoint
           coreIndex(core_index)
     {
         net.attach(node, *this);
+        setStation(node);
     }
 
     void

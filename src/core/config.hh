@@ -154,6 +154,16 @@ struct PipelineConfig
     Bytes renameRegionBytes = Bytes(1) << 32; ///< OS-assigned space
     /// @}
 
+    /**
+     * Host threads draining the parallel simulation engine's event
+     * shards (one shard per pipeline NoC domain; clamped to that).
+     * Purely a host-side knob: results are bit-identical for every
+     * value — the engine runs the same windowed algorithm and merges
+     * cross-domain operations in a simulated-state order (see
+     * sim/sim_engine.hh).
+     */
+    unsigned simThreads = 1;
+
     /** TRS storage blocks per TRS instance. The configured byte
      *  totals are machine-wide: they divide across all instances of
      *  all pipelines, so varying numPipelines holds storage constant

@@ -12,6 +12,7 @@ Gateway::Gateway(std::string name, EventQueue &eq, Network &network,
       node(node_id)
 {
     net.attach(node, *this);
+    setStation(node);
     trsFree.assign(cfg.numTrs, cfg.blocksPerTrs());
 }
 

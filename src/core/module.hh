@@ -30,6 +30,7 @@ class FrontendModule : public SimObject, public Endpoint
         : SimObject(std::move(name), eq), net(network), _node(node)
     {
         net.attach(node, *this);
+        setStation(node);
     }
 
     NodeId nodeId() const { return _node; }
@@ -103,6 +104,9 @@ class FrontendModule : public SimObject, public Endpoint
 
     bool parked() const { return headParked; }
 
+    /** The attached network (for direct sendAt, bypassing the outbox). */
+    Network &network() { return net; }
+
     /**
      * Inject any queued outbound messages immediately. Needed when a
      * module generates messages outside packet servicing (e.g. from a
@@ -170,11 +174,12 @@ class FrontendModule : public SimObject, public Endpoint
     {
         if (outbox.empty())
             return;
-        eventQueue().schedule(
-            when, [this, batch = std::move(outbox)]() mutable {
-                for (auto &m : batch)
-                    net.send(MessagePtr(m.release()));
-            });
+        // Station-stamped (scheduleAt) so the flush event's ordering
+        // key — and thus its deferred sends — is unique per module.
+        scheduleAt(when, [this, batch = std::move(outbox)]() mutable {
+            for (auto &m : batch)
+                net.send(MessagePtr(m.release()));
+        });
         outbox.clear();
     }
 

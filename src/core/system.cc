@@ -85,6 +85,19 @@ SystemBuilder::build()
     if (ordered)
         sys->registry.computeObjectTickets();
 
+    // The parallel engine's id map must be the flat per-<TRS, SLOT>
+    // table: binds stay TRS-row-local and cross-domain lookups read
+    // fixed, barrier-ordered memory locations.
+    sys->registry.configureIdTable(cfg.totalTrs(), cfg.blocksPerTrs());
+
+    // Event-queue shards: one NoC domain per pipeline. Pipeline p's
+    // frontend (gateway + TRSs + ORT/OVT pairs) drains on shard p;
+    // the shared backend (network, DMA, scheduler) on shard 0;
+    // sources and worker cores round-robin over the domains (cores by
+    // processor ring, so a ring never splits across shards).
+    SimEngine &engine = *sys->engine;
+    EventQueue &backendq = engine.shard(0);
+
     // NoC: worker cores plus one master core per task-generating
     // thread; frontend tiles carry the gateways, TRSs, ORT/OVT pairs
     // and the shared scheduler. Topology and station placement are
@@ -94,10 +107,11 @@ SystemBuilder::build()
     noc.numFrontendTiles = cfg.frontendTiles();
     noc.placement = cfg.nocPlacement;
     noc.placementSeed = cfg.nocPlacementSeed;
-    sys->net = makeTopology(cfg.nocTopology, "noc", sys->eq, noc);
+    sys->net = makeTopology(cfg.nocTopology, "noc", backendq, noc);
     TopologyNetwork &net = *sys->net;
+    engine.setLookahead(net.minDeliveryDelay());
 
-    sys->dma = std::make_unique<DmaEngine>("dma", sys->eq);
+    sys->dma = std::make_unique<DmaEngine>("dma", backendq);
 
     NodeId sched_node = net.frontendNode(cfg.schedulerTile());
 
@@ -119,38 +133,43 @@ SystemBuilder::build()
     }
 
     for (unsigned p = 0; p < pipes; ++p) {
+        EventQueue &pipeq = engine.shard(p);
         std::string suffix = pipes > 1 ? "p" + std::to_string(p) : "";
         auto gw = std::make_unique<Gateway>(
-            "gateway" + suffix, sys->eq, net, gw_nodes[p], scfg,
+            "gateway" + suffix, pipeq, net, gw_nodes[p], scfg,
             sys->registry, sys->stats);
         gw->setPeers(trs_nodes, ort_nodes,
                      std::max(1u, threads_in_pipe[p]), p * cfg.numTrs,
                      ordered);
+        net.bindQueue(gw_nodes[p], pipeq);
         sys->gateways.push_back(std::move(gw));
 
         for (unsigned i = 0; i < cfg.numTrs; ++i) {
             unsigned g = p * cfg.numTrs + i;
             auto trs = std::make_unique<Trs>(
-                "trs" + std::to_string(g), sys->eq, net, trs_nodes[g],
+                "trs" + std::to_string(g), pipeq, net, trs_nodes[g],
                 g, scfg, sys->registry, sys->stats);
             trs->setPeers(gw_nodes[p], sched_node, trs_nodes,
                           ovt_nodes,
                           ordered ? gw_nodes : std::vector<NodeId>{});
+            net.bindQueue(trs_nodes[g], pipeq);
             sys->trsModules.push_back(std::move(trs));
         }
 
         for (unsigned i = 0; i < cfg.numOrt; ++i) {
             unsigned g = p * cfg.numOrt + i;
             auto ort = std::make_unique<Ort>(
-                "ort" + std::to_string(g), sys->eq, net, ort_nodes[g],
+                "ort" + std::to_string(g), pipeq, net, ort_nodes[g],
                 g, scfg, sys->stats);
             ort->setPeers(gw_nodes, trs_nodes, ovt_nodes[g], ordered);
+            net.bindQueue(ort_nodes[g], pipeq);
             sys->ortModules.push_back(std::move(ort));
 
             auto ovt = std::make_unique<Ovt>(
-                "ovt" + std::to_string(g), sys->eq, net, ovt_nodes[g],
+                "ovt" + std::to_string(g), pipeq, net, ovt_nodes[g],
                 g, scfg, sys->stats, *sys->dma);
             ovt->setPeers(ort_nodes[g], trs_nodes);
+            net.bindQueue(ovt_nodes[g], pipeq);
             sys->ovtModules.push_back(std::move(ovt));
         }
     }
@@ -183,25 +202,33 @@ SystemBuilder::build()
             if (threadOf[t] == thread)
                 indices.push_back(t);
         }
+        EventQueue &srcq = engine.shard(pipe);
         auto source = std::make_unique<TaskSource>(
-            "source" + std::to_string(thread), sys->eq, net,
+            "source" + std::to_string(thread), srcq, net,
             net.coreNode(thread), scfg, sys->registry, sys->stats,
             std::move(indices), thread / pipes, credit_share);
         source->setGateway(gw_nodes[pipe]);
+        net.bindQueue(net.coreNode(thread), srcq);
         sys->sources.push_back(std::move(source));
     }
 
-    sys->sched = std::make_unique<Scheduler>("scheduler", sys->eq, net,
+    sys->sched = std::make_unique<Scheduler>("scheduler", backendq, net,
                                              sched_node, scfg);
+    net.bindQueue(sched_node, backendq);
 
     std::vector<NodeId> worker_nodes;
     for (unsigned c = 0; c < cfg.numCores; ++c) {
         NodeId node = net.coreNode(c + num_threads);
         worker_nodes.push_back(node);
+        // Whole processor rings share a domain so a ring's cores
+        // never drain on two shards.
+        unsigned ring = static_cast<unsigned>(node) / noc.coresPerRing;
+        EventQueue &coreq = engine.shard(ring % pipes);
         auto worker = std::make_unique<WorkerCore>(
-            "core" + std::to_string(c), sys->eq, net, node, c, scfg,
+            "core" + std::to_string(c), coreq, net, node, c, scfg,
             sys->registry);
         worker->setPeers(sched_node, trs_nodes);
+        net.bindQueue(node, coreq);
         sys->workers.push_back(std::move(worker));
     }
     sys->sched->setWorkers(worker_nodes);
@@ -214,7 +241,7 @@ System::runWatchdog(std::uint64_t max_events)
 {
     for (auto &source : sources)
         source->start();
-    eq.run(max_events);
+    engine->run(max_events);
 
     bool all_done = true;
     for (auto &source : sources)
@@ -223,9 +250,9 @@ System::runWatchdog(std::uint64_t max_events)
     LivenessReport report;
     report.tasksFinished =
         static_cast<std::size_t>(stats.tasksFinished.value());
-    report.eventsExecuted = eq.executed();
+    report.eventsExecuted = engine->executed();
     report.completed = all_done && report.tasksFinished == trace.size();
-    report.wedged = !report.completed && eq.empty();
+    report.wedged = !report.completed && engine->empty();
     return report;
 }
 
@@ -242,7 +269,7 @@ System::run(std::uint64_t max_events)
     RunResult result;
     result.numTasks = trace.size();
     result.sequential = trace.sequentialCycles();
-    result.eventsExecuted = eq.executed();
+    result.eventsExecuted = engine->executed();
     result.messagesOnNoc = net->messagesSent();
 
     // Makespan and the execution order, from the per-task records.
@@ -316,7 +343,7 @@ System::run(std::uint64_t max_events)
 void
 System::dumpStats(std::ostream &os) const
 {
-    Cycle now = eq.now();
+    Cycle now = engine->now();
     auto line = [&](const std::string &name, const FrontendModule &m) {
         double busy = now == 0
             ? 0 : 100.0 * static_cast<double>(m.busyCycles()) /
@@ -348,6 +375,7 @@ System::dumpStats(std::ostream &os) const
        << links.laneWaitCycles << " cy, busiest link "
        << std::setprecision(1) << links.maxUtilization * 100.0
        << "% busy\n";
+    net->dumpStats(os, now);
     os << "DMA: " << dma->numTransfers() << " write-backs, "
        << dma->totalBytes() / 1024 << " KB\n";
 

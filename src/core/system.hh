@@ -29,6 +29,7 @@
 #include "core/trs.hh"
 #include "mem/dma_engine.hh"
 #include "noc/topology.hh"
+#include "sim/sim_engine.hh"
 
 namespace tss
 {
@@ -144,7 +145,15 @@ class System
     /// @name Shared-infrastructure introspection.
     /// @{
     const PipelineConfig &config() const { return cfg; }
-    EventQueue &eventQueue() { return eq; }
+
+    /**
+     * The backend domain's event-queue shard (domain 0 — also the
+     * only shard with one pipeline, the classic configuration).
+     */
+    EventQueue &eventQueue() { return engine->shard(0); }
+
+    /** The sharded windowed engine driving this machine. */
+    SimEngine &simEngine() { return *engine; }
     TaskRegistry &taskRegistry() { return registry; }
     FrontendStats &frontendStats() { return stats; }
     Scheduler &scheduler() { return *sched; }
@@ -173,14 +182,19 @@ class System
     friend class SystemBuilder;
 
     System(const PipelineConfig &config, const TaskTrace &task_trace)
-        : cfg(config), trace(task_trace), registry(task_trace)
+        : cfg(config), trace(task_trace),
+          engine(std::make_unique<SimEngine>(config.numPipelines,
+                                             config.simThreads)),
+          registry(task_trace)
     {}
 
     PipelineConfig cfg;
     const TaskTrace &trace;
     bool shared = false; ///< threads share data; ordered mode active
 
-    EventQueue eq;
+    /// One event-queue shard per pipeline NoC domain; declared before
+    /// the modules so it outlives every queue reference they hold.
+    std::unique_ptr<SimEngine> engine;
     TaskRegistry registry;
     FrontendStats stats;
 

@@ -56,10 +56,32 @@ class TaskRegistry
         byId.reserve(task_trace.size());
     }
 
+    /**
+     * Switch the id map to a flat per-<TRS, SLOT> table. Required
+     * under the parallel engine: each TRS binds/unbinds only its own
+     * rows (no shared hash-map mutation), and lookups from worker
+     * cores in other NoC domains read fixed memory locations whose
+     * writes are ordered by the engine's window barriers.
+     */
+    void
+    configureIdTable(unsigned num_trs, unsigned slots_per_trs)
+    {
+        slotsPerTrs = slots_per_trs;
+        idTable.assign(static_cast<std::size_t>(num_trs) *
+                           slots_per_trs,
+                       IdEntry{});
+    }
+
     /** Bind a hardware id to a trace task at allocation time. */
     void
     bind(TaskId id, std::uint32_t trace_index)
     {
+        if (!idTable.empty()) {
+            IdEntry &e = idTable[entryIndex(id)];
+            TSS_ASSERT(e.traceIndex == invalidIndex, "task id rebound");
+            e = IdEntry{id.generation, trace_index};
+            return;
+        }
         auto [it, inserted] = byId.emplace(id, trace_index);
         TSS_ASSERT(inserted, "task id rebound");
         (void)it;
@@ -69,6 +91,13 @@ class TaskRegistry
     std::uint32_t
     traceIndex(TaskId id) const
     {
+        if (!idTable.empty()) {
+            const IdEntry &e = idTable[entryIndex(id)];
+            TSS_ASSERT(e.traceIndex != invalidIndex &&
+                           e.generation == id.generation,
+                       "unknown task id %s", toString(id).c_str());
+            return e.traceIndex;
+        }
         auto it = byId.find(id);
         TSS_ASSERT(it != byId.end(), "unknown task id %s",
                    toString(id).c_str());
@@ -94,6 +123,14 @@ class TaskRegistry
     void
     unbind(TaskId id)
     {
+        if (!idTable.empty()) {
+            IdEntry &e = idTable[entryIndex(id)];
+            TSS_ASSERT(e.traceIndex != invalidIndex &&
+                           e.generation == id.generation,
+                       "unbinding unknown task id");
+            e.traceIndex = invalidIndex;
+            return;
+        }
         byId.erase(id);
     }
 
@@ -165,9 +202,32 @@ class TaskRegistry
     /// @}
 
   private:
+    static constexpr std::uint32_t invalidIndex = ~std::uint32_t(0);
+
+    /** One flat-table row: valid while traceIndex != invalidIndex. */
+    struct IdEntry
+    {
+        std::uint32_t generation = 0;
+        std::uint32_t traceIndex = invalidIndex;
+    };
+
+    std::size_t
+    entryIndex(TaskId id) const
+    {
+        TSS_ASSERT(id.slot < slotsPerTrs, "slot %u out of table range",
+                   id.slot);
+        std::size_t index =
+            static_cast<std::size_t>(id.trs) * slotsPerTrs + id.slot;
+        TSS_ASSERT(index < idTable.size(), "trs %u out of table range",
+                   id.trs);
+        return index;
+    }
+
     const TaskTrace &trace;
     std::vector<TaskRecord> records;
     std::unordered_map<TaskId, std::uint32_t> byId;
+    std::vector<IdEntry> idTable;
+    unsigned slotsPerTrs = 0;
 
     /// Per-task, per-operand object tickets (shared-data mode only).
     std::vector<std::vector<ObjectTicket>> tickets;

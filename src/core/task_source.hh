@@ -48,6 +48,7 @@ class TaskSource : public SimObject, public Endpoint
           thread(thread_id), credits(buffer_credits)
     {
         net.attach(node, *this);
+        setStation(node);
     }
 
     void setGateway(NodeId gateway) { gatewayNode = gateway; }

@@ -99,7 +99,7 @@ Trs::handleAlloc(AllocRequestMsg &msg)
     registry.bind(id, msg.traceIndex);
     registry.record(id).allocated = curCycle();
     ++stats.tasksAllocated;
-    stats.tasksInFlight.add(curCycle(), +1.0);
+    addTasksInFlight(+1.0);
     stats.fragmentation.sample(
         1.0 - static_cast<double>(layout::usedBytes(msg.numOperands)) /
             static_cast<double>(layout::allocatedBytes(msg.numOperands)));
@@ -299,18 +299,7 @@ Trs::handleTaskFinished(TaskFinishedMsg &msg)
     TSS_ASSERT(slot->readySent, "finish for task that never ran");
 
     ++stats.tasksFinished;
-    stats.tasksInFlight.add(curCycle(), -1.0);
-
-    // Retiring the watermark task re-arms every gateway's ROB-head
-    // reserve: broadcast the advance (shared-data mode), or a
-    // reserve-gated allocation on another pipeline would never learn
-    // its task became the machine-wide oldest (missed wakeup).
-    std::uint32_t old_min = registry.minUnfinishedIndex();
-    registry.markFinished(slot->traceIndex);
-    if (registry.minUnfinishedIndex() != old_min) {
-        for (NodeId gw : gatewayBroadcast)
-            sendMsg(gw, std::make_unique<WatermarkAdvanceMsg>());
-    }
+    addTasksInFlight(-1.0);
 
     // Walk the operands: publish produced data to waiting chains and
     // release version usage at the OVTs.
@@ -338,9 +327,63 @@ Trs::handleTaskFinished(TaskFinishedMsg &msg)
     sendMsg(gatewayNode,
             std::make_unique<TrsSpaceMsg>(trsIndex, freed));
 
+    // The registry watermark is machine-wide state: advance it (and
+    // broadcast the advance) at the window barrier under the parallel
+    // engine, stamped with this packet's full service time so the
+    // wakeup is not observable before the retirement completed.
+    Cycle flush_at = curCycle() + cost;
+    if (execCtx.sink) {
+        execCtx.sink->record(
+            execCtx.nextKey(),
+            [this, trace_index = slot->traceIndex, flush_at] {
+                applyFinish(trace_index, flush_at);
+            });
+    } else {
+        applyFinish(slot->traceIndex, flush_at);
+    }
+
     registry.unbind(msg.id);
     slots.erase(msg.id.slot);
     return {cost, false};
+}
+
+void
+Trs::applyFinish(std::uint32_t trace_index, Cycle flush_at)
+{
+    // Retiring the watermark task re-arms every gateway's ROB-head
+    // reserve: broadcast the advance (shared-data mode), or a
+    // reserve-gated allocation on another pipeline would never learn
+    // its task became the machine-wide oldest (missed wakeup).
+    std::uint32_t old_min = registry.minUnfinishedIndex();
+    registry.markFinished(trace_index);
+    if (registry.minUnfinishedIndex() == old_min)
+        return;
+    // Inject at the packet's flush time through the normal send()
+    // path — scheduling the send as an event keeps lane reservations
+    // in global inject order (routing directly here, with a future
+    // inject cycle, would reserve lanes ahead of earlier traffic and
+    // charge spurious contention).
+    scheduleAt(std::max(flush_at, deferFloor), [this] {
+        for (NodeId gw : gatewayBroadcast) {
+            auto m = std::make_unique<WatermarkAdvanceMsg>();
+            m->src = nodeId();
+            m->dst = gw;
+            network().send(MessagePtr(m.release()));
+        }
+    });
+}
+
+void
+Trs::addTasksInFlight(double delta)
+{
+    Cycle now = curCycle();
+    if (execCtx.sink) {
+        execCtx.sink->record(execCtx.nextKey(), [this, now, delta] {
+            stats.tasksInFlight.add(now, delta);
+        });
+    } else {
+        stats.tasksInFlight.add(now, delta);
+    }
 }
 
 } // namespace tss

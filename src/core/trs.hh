@@ -35,8 +35,11 @@ struct FrontendStats
     Counter batchedOperands; ///< operands that rode a batch packet
     Distribution batchFill;  ///< operands per memory issue event
                              ///< (sampled only with batching on)
-    Cycle gatewayStallCycles = 0;
-    Cycle sourceStallCycles = 0;
+    /// Stall cycles accumulate from ORTs / task sources in different
+    /// NoC domains; sums commute, so relaxed atomics keep the totals
+    /// thread-count independent.
+    std::atomic<Cycle> gatewayStallCycles{0};
+    std::atomic<Cycle> sourceStallCycles{0};
     Distribution chainConsumers; ///< consumers chained per version
     Distribution fragmentation;  ///< TRS allocation waste fraction
     Distribution decodeLatency;  ///< submit -> decodeDone per task
@@ -132,6 +135,16 @@ class Trs : public FrontendModule
     void noteDecodeProgress(TaskSlot &slot);
     void maybeTaskReady(TaskSlot &slot, const TaskId &id);
     void forwardReady(const OperandState &op);
+
+    /**
+     * Retirement side of handleTaskFinished that touches machine-wide
+     * state (registry watermark + gateway broadcast). Runs deferred
+     * at the window barrier under the parallel engine.
+     */
+    void applyFinish(std::uint32_t trace_index, Cycle flush_at);
+
+    /** Bump the global in-flight gauge (deferred under the engine). */
+    void addTasksInFlight(double delta);
 
     unsigned trsIndex;
     const PipelineConfig &cfg;

@@ -64,6 +64,11 @@ applyNocArgs(const CliArgs &args, PipelineConfig &cfg)
         cfg.batchOperands = true;
     if (args.has("ideal-admission"))
         cfg.idealAdmission = true;
+    long sim_threads = args.getLong(
+        "sim-threads", static_cast<long>(cfg.simThreads));
+    if (sim_threads < 1)
+        fatal("--sim-threads must be >= 1");
+    cfg.simThreads = static_cast<unsigned>(sim_threads);
 }
 
 bool

@@ -50,9 +50,11 @@ PipelineConfig paperConfig(unsigned cores = 256);
 /**
  * Apply the shared NoC command-line knobs to @p cfg:
  * `--topology=fixed|ring|mesh`, `--placement=adjacent|spread|random`,
- * `--placement-seed=N`, `--batch` (operand batching on) and
- * `--ideal-admission` (ticket-cost oracle). Unknown values call
- * fatal(); absent keys leave @p cfg untouched.
+ * `--placement-seed=N`, `--batch` (operand batching on),
+ * `--ideal-admission` (ticket-cost oracle) and `--sim-threads=N`
+ * (host threads for the parallel simulation engine; results are
+ * bit-identical for every value). Unknown values call fatal();
+ * absent keys leave @p cfg untouched.
  */
 void applyNocArgs(const CliArgs &args, PipelineConfig &cfg);
 

@@ -37,19 +37,28 @@ class DmaEngine : public SimObject
           bandwidth(bytes_per_cycle), startupLatency(startup)
     {}
 
-    /** Enqueue a copy of @p bytes; @p done fires at completion. */
+    /**
+     * Enqueue a copy of @p bytes; @p done fires at completion. The
+     * channel is shared global state, so under the parallel engine
+     * the reservation is deferred to the window barrier (like
+     * Network::send); the completion callback is scheduled back onto
+     * the requesting station's own queue shard.
+     */
     void
     transfer(Bytes bytes, Callback done = nullptr)
     {
-        Cycle duration = startupLatency +
-            static_cast<Cycle>(static_cast<double>(bytes) / bandwidth);
-        Cycle start = std::max(curCycle(), channelFreeAt);
-        channelFreeAt = start + duration;
-        ++transfers;
-        bytesCopied += bytes;
-        if (done) {
-            eventQueue().schedule(channelFreeAt,
-                                  [cb = std::move(done)] { cb(); });
+        if (execCtx.sink) {
+            execCtx.sink->record(
+                execCtx.nextKey(),
+                [this, bytes, req = execCtx.when, q = execCtx.queue,
+                 station = execCtx.station,
+                 cb = std::move(done)]() mutable {
+                    applyTransfer(bytes, std::move(cb), req, *q,
+                                  station);
+                });
+        } else {
+            applyTransfer(bytes, std::move(done), curCycle(),
+                          eventQueue(), EventQueue::noStation);
         }
     }
 
@@ -58,6 +67,23 @@ class DmaEngine : public SimObject
     Cycle busyUntil() const { return channelFreeAt; }
 
   private:
+    void
+    applyTransfer(Bytes bytes, Callback done, Cycle req,
+                  EventQueue &q, std::int32_t station)
+    {
+        Cycle duration = startupLatency +
+            static_cast<Cycle>(static_cast<double>(bytes) / bandwidth);
+        Cycle start = std::max(req, channelFreeAt);
+        channelFreeAt = start + duration;
+        ++transfers;
+        bytesCopied += bytes;
+        if (done) {
+            Cycle at = std::max(channelFreeAt, deferFloor);
+            q.scheduleStation(at, station,
+                              [cb = std::move(done)] { cb(); });
+        }
+    }
+
     double bandwidth;
     Cycle startupLatency;
     Cycle channelFreeAt = 0;

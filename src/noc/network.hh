@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "noc/message.hh"
+#include "sim/exec_context.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
 
@@ -20,6 +21,14 @@ namespace tss
 /**
  * A network delivers messages between attached endpoints after some
  * modeled delay, preserving per source->destination FIFO order.
+ *
+ * Under the parallel engine (sim/sim_engine.hh) the network is shared
+ * global state: routing mutates lane reservations and the FIFO clamp.
+ * send() therefore defers — it records the injection into the calling
+ * event's DeferSink, and the actual routing (sendAt) runs at the
+ * window barrier, single-threaded, in deterministic key order. With
+ * no engine attached (execCtx.sink == nullptr) send() routes
+ * immediately, the historical behavior.
  */
 class Network : public SimObject
 {
@@ -33,8 +42,48 @@ class Network : public SimObject
         endpoints[node] = &ep;
     }
 
-    /** Inject @p msg; ownership passes to the network. */
-    virtual void send(MessagePtr msg) = 0;
+    /**
+     * Route deliveries for @p node through @p eq — the event-queue
+     * shard of the node's NoC domain. Unbound nodes deliver on the
+     * network's own queue (the single-queue configuration).
+     */
+    void
+    bindQueue(NodeId node, EventQueue &eq)
+    {
+        nodeQueues[node] = &eq;
+    }
+
+    /**
+     * Inject @p msg; ownership passes to the network. Routes now, or
+     * defers to the window barrier under the parallel engine.
+     */
+    void
+    send(MessagePtr msg)
+    {
+        if (execCtx.sink) {
+            execCtx.sink->record(
+                execCtx.nextKey(),
+                [this, inject = execCtx.when,
+                 m = std::move(msg)]() mutable {
+                    sendAt(inject, std::move(m));
+                });
+        } else {
+            sendAt(curCycle(), std::move(msg));
+        }
+    }
+
+    /**
+     * Route @p msg as if injected at cycle @p inject. Only the window
+     * barrier (deferred ops) and engine-less callers may invoke this
+     * directly: it touches shared routing state.
+     */
+    virtual void sendAt(Cycle inject, MessagePtr msg) = 0;
+
+    /**
+     * Lower bound on inject-to-delivery delay between two *distinct*
+     * stations; the engine's conservative lookahead window length.
+     */
+    virtual Cycle minDeliveryDelay() const = 0;
 
     std::uint64_t messagesSent() const { return numMessages.value(); }
     const Distribution &latencyStat() const { return latencies; }
@@ -42,11 +91,18 @@ class Network : public SimObject
   protected:
     /**
      * Deliver @p msg at absolute @p when, clamped so that messages
-     * between the same pair of nodes never reorder.
+     * between the same pair of nodes never reorder, and floored at
+     * the applying window's end (deferFloor; only same-station
+     * self-messages can compute below it — see sim/exec_context.hh).
+     * The delivery event is scheduled on the destination's bound
+     * queue, stamped with the destination station.
      */
     void
     deliverAt(Cycle when, MessagePtr msg)
     {
+        if (when < deferFloor)
+            when = deferFloor;
+
         auto key = pairKey(msg->src, msg->dst);
         auto &last = lastDelivery[key];
         if (when < last)
@@ -60,7 +116,11 @@ class Network : public SimObject
         TSS_ASSERT(it != endpoints.end(),
                    "message to unattached node %d", msg->dst);
         Endpoint *ep = it->second;
-        eventQueue().schedule(when, [ep, m = std::move(msg)]() mutable {
+        NodeId dst = msg->dst;
+        auto qit = nodeQueues.find(dst);
+        EventQueue &q =
+            qit == nodeQueues.end() ? eventQueue() : *qit->second;
+        q.scheduleStation(when, dst, [ep, m = std::move(msg)]() mutable {
             ep->receive(std::move(m));
         });
     }
@@ -74,6 +134,7 @@ class Network : public SimObject
     }
 
     std::unordered_map<NodeId, Endpoint *> endpoints;
+    std::unordered_map<NodeId, EventQueue *> nodeQueues;
     std::unordered_map<std::uint64_t, Cycle> lastDelivery;
     Counter numMessages;
     Distribution latencies;
@@ -94,13 +155,15 @@ class SimpleNetwork : public Network
     {}
 
     void
-    send(MessagePtr msg) override
+    sendAt(Cycle inject, MessagePtr msg) override
     {
-        msg->sentAt = curCycle();
+        msg->sentAt = inject;
         Cycle ser = static_cast<Cycle>(
             (static_cast<double>(msg->bytes) + bandwidth - 1) / bandwidth);
-        deliverAt(curCycle() + _latency + ser, std::move(msg));
+        deliverAt(inject + _latency + ser, std::move(msg));
     }
+
+    Cycle minDeliveryDelay() const override { return _latency + 1; }
 
   private:
     Cycle _latency;

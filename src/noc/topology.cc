@@ -190,9 +190,9 @@ TopologyNetwork::route(NodeId src_node, NodeId dst_node, Cycle inject,
 }
 
 void
-TopologyNetwork::send(MessagePtr msg)
+TopologyNetwork::sendAt(Cycle inject, MessagePtr msg)
 {
-    msg->sentAt = curCycle();
+    msg->sentAt = inject;
 
     Cycle ser = static_cast<Cycle>(
         (static_cast<double>(msg->bytes) + _params.bytesPerCycle - 1) /
@@ -200,10 +200,18 @@ TopologyNetwork::send(MessagePtr msg)
     ser = std::max<Cycle>(ser, 1);
 
     unsigned hop_count = 0;
-    Cycle t = route(msg->src, msg->dst, curCycle(), ser, hop_count);
+    Cycle t = route(msg->src, msg->dst, inject, ser, hop_count);
 
     hops.sample(hop_count);
     deliverAt(t, std::move(msg));
+}
+
+Cycle
+TopologyNetwork::minDeliveryDelay() const
+{
+    // Injection serialization is clamped to >= 1 cycle (sendAt), and
+    // any route between distinct stations crosses at least one link.
+    return _params.hopLatency + 1;
 }
 
 unsigned
@@ -250,6 +258,66 @@ TopologyNetwork::linkStats(Cycle now) const
             visit(link);
     visitGlobalLinks(visit);
     return stats;
+}
+
+std::vector<double>
+TopologyNetwork::linkUtilizations(Cycle now) const
+{
+    std::vector<double> utils;
+    auto visit = [&](const Link &link) {
+        double capacity = static_cast<double>(now) *
+            static_cast<double>(link.lanes.size());
+        utils.push_back(capacity > 0
+                            ? static_cast<double>(link.busyCycles) /
+                                  capacity
+                            : 0.0);
+    };
+    for (const auto &segments : localSegments)
+        for (const auto &link : segments)
+            visit(link);
+    visitGlobalLinks(visit);
+    return utils;
+}
+
+std::vector<std::uint64_t>
+TopologyNetwork::linkTraversals() const
+{
+    std::vector<std::uint64_t> counts;
+    auto visit = [&](const Link &link) {
+        counts.push_back(link.traversals);
+    };
+    for (const auto &segments : localSegments)
+        for (const auto &link : segments)
+            visit(link);
+    visitGlobalLinks(visit);
+    return counts;
+}
+
+void
+TopologyNetwork::dumpStats(std::ostream &os, Cycle now) const
+{
+    LinkStats agg = linkStats(now);
+    os << name() << " links: " << agg.links
+       << "  traversals: " << agg.traversals
+       << "  lane-wait cycles: " << agg.laneWaitCycles
+       << "  peak utilization: " << agg.maxUtilization << "\n";
+
+    // Per-link utilization histogram: ten 10%-wide buckets.
+    constexpr unsigned buckets = 10;
+    std::uint64_t count[buckets] = {};
+    for (double u : linkUtilizations(now)) {
+        auto b = static_cast<unsigned>(u * buckets);
+        count[std::min(b, buckets - 1)]++;
+    }
+    os << name() << " link utilization histogram:\n";
+    for (unsigned b = 0; b < buckets; ++b) {
+        if (count[b] == 0)
+            continue;
+        os << "  [" << b * 10 << "%, "
+           << (b + 1 == buckets ? 100 : (b + 1) * 10)
+           << (b + 1 == buckets ? "%]: " : "%): ") << count[b]
+           << " links\n";
+    }
 }
 
 std::unique_ptr<TopologyNetwork>

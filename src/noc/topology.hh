@@ -108,7 +108,14 @@ class TopologyNetwork : public Network
     NodeId memCtrlNode(unsigned mc) const;
     /// @}
 
-    void send(MessagePtr msg) final;
+    void sendAt(Cycle inject, MessagePtr msg) final;
+
+    /**
+     * Minimum inject-to-delivery delay between distinct stations:
+     * injection serialization (>= 1 cycle) plus at least one link
+     * traversal. The parallel engine's lookahead.
+     */
+    Cycle minDeliveryDelay() const override;
 
     /** Hop count between two nodes (route enumeration, no state). */
     virtual unsigned hopCount(NodeId src, NodeId dst) const;
@@ -119,6 +126,23 @@ class TopologyNetwork : public Network
 
     /** Aggregate link contention over [0, @p now]. */
     LinkStats linkStats(Cycle now) const;
+
+    /**
+     * Per-link lane utilization (busy lane-cycles / (now * lanes))
+     * over [0, @p now]: local processor-ring segments first (ring 0's
+     * segments in stop order, then ring 1's, ...), then the global
+     * fabric's links in the subclass's visitGlobalLinks order.
+     */
+    std::vector<double> linkUtilizations(Cycle now) const;
+
+    /** Per-link traversal counts, in linkUtilizations() order. */
+    std::vector<std::uint64_t> linkTraversals() const;
+
+    /**
+     * Write the per-link utilization histogram (plus traversal and
+     * backpressure aggregates) for the run ending at @p now.
+     */
+    void dumpStats(std::ostream &os, Cycle now) const;
 
   protected:
     /// One link: lane credits shared by both directions, plus
@@ -211,6 +235,13 @@ class FixedNetwork : public TopologyNetwork
     {}
 
     unsigned hopCount(NodeId, NodeId) const override { return 0; }
+
+    /** Distance-free: the end-to-end latency plus serialization. */
+    Cycle
+    minDeliveryDelay() const override
+    {
+        return _params.fixedLatency + 1;
+    }
 
   protected:
     Cycle

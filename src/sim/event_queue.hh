@@ -1,9 +1,12 @@
 /**
  * @file
- * The discrete-event simulation kernel. A single global-ordered event
- * queue drives every module in the simulated system; events scheduled
- * for the same cycle execute in (priority, insertion) order so that
- * simulations are fully deterministic.
+ * The discrete-event simulation kernel. An event queue drives the
+ * modules of one NoC domain (the whole system is a single domain in
+ * the classic configuration); events scheduled for the same cycle
+ * execute in (priority, station, per-station sequence) order so that
+ * simulations are fully deterministic — the same tie-break key the
+ * parallel engine (sim/sim_engine.hh) uses to merge cross-domain
+ * operations at window barriers.
  */
 
 #ifndef TSS_SIM_EVENT_QUEUE_HH
@@ -14,6 +17,7 @@
 #include <vector>
 
 #include "event.hh"
+#include "exec_context.hh"
 #include "logging.hh"
 #include "types.hh"
 
@@ -30,13 +34,16 @@ using EventFn = EventCallback;
 /**
  * A deterministic discrete-event queue.
  *
- * Ties at the same cycle break first on priority (lower first) and
- * then on insertion order, which both keeps the simulation
- * reproducible and provides per-link FIFO delivery for the NoC.
+ * Ties at the same cycle break first on priority (lower first), then
+ * on the scheduling station id, then on the station's own sequence
+ * number — FIFO among same-cycle events of one station, and a total
+ * order overall. Events scheduled without a station (plain
+ * schedule()) share the anonymous station -1 and therefore keep the
+ * historical global-FIFO behavior.
  *
  * Storage is split in two: callbacks live in a slab whose slots are
  * recycled through a free list (so scheduling allocates nothing once
- * the slab is warm), while the priority queue orders 24-byte POD keys
+ * the slab is warm), while the priority queue orders 32-byte POD keys
  * that reference slab slots. Heap sifts therefore move small PODs
  * instead of whole events.
  */
@@ -45,6 +52,9 @@ class EventQueue
   public:
     /** Default event priority. */
     static constexpr int defaultPriority = 0;
+
+    /** The anonymous station of plain schedule() calls. */
+    static constexpr std::int32_t noStation = -1;
 
     /** Current simulated time. */
     Cycle now() const { return _now; }
@@ -58,14 +68,23 @@ class EventQueue
     /** Total number of events executed so far. */
     std::uint64_t executed() const { return numExecuted; }
 
+    /** Firing time of the earliest pending event (invalidCycle: none). */
+    Cycle
+    nextTime() const
+    {
+        return heap.empty() ? invalidCycle : heap.top().when;
+    }
+
     /**
-     * Schedule an event at an absolute cycle.
+     * Schedule an event at an absolute cycle on behalf of a station.
      * @param when Absolute firing time; must not be in the past.
+     * @param station Scheduling station (a NoC node id), or noStation.
      * @param fn Callback to execute.
      * @param priority Tie-break priority (lower fires first).
      */
     void
-    schedule(Cycle when, EventFn fn, int priority = defaultPriority)
+    scheduleStation(Cycle when, std::int32_t station, EventFn fn,
+                    int priority = defaultPriority)
     {
         TSS_ASSERT(when >= _now,
                    "event scheduled in the past (%llu < %llu)",
@@ -79,7 +98,15 @@ class EventQueue
             freeSlots.pop_back();
             slab[slot] = std::move(fn);
         }
-        heap.push(Key{when, nextSeq++, priority, slot});
+        heap.push(Key{when, stationSeq(station), priority, station,
+                      slot});
+    }
+
+    /** Schedule an event at an absolute cycle (anonymous station). */
+    void
+    schedule(Cycle when, EventFn fn, int priority = defaultPriority)
+    {
+        scheduleStation(when, noStation, std::move(fn), priority);
     }
 
     /** Schedule an event @p delay cycles from now. */
@@ -100,12 +127,32 @@ class EventQueue
             return false;
         Key top = heap.top();
         TSS_ASSERT(top.when >= _now, "event queue went backwards");
+        TSS_ASSERT(!(top.when == lastKey.when &&
+                     top.priority == lastKey.priority &&
+                     top.station == lastKey.station &&
+                     top.seq == lastKey.seq && numExecuted > 0),
+                   "duplicate event ordering key (station %d seq %llu "
+                   "at cycle %llu)",
+                   (int)top.station, (unsigned long long)top.seq,
+                   (unsigned long long)top.when);
+        lastKey = top;
         _now = top.when;
         heap.pop();
         EventFn fn = std::move(slab[top.slot]);
         freeSlots.push_back(top.slot);
         ++numExecuted;
-        fn();
+        if (sink) {
+            execCtx.sink = sink;
+            execCtx.queue = this;
+            execCtx.station = top.station;
+            execCtx.seq = top.seq;
+            execCtx.when = top.when;
+            execCtx.opIndex = 0;
+            fn();
+            execCtx = ExecContext{};
+        } else {
+            fn();
+        }
         return true;
     }
 
@@ -138,13 +185,21 @@ class EventQueue
     /** Callback slots currently parked in the slab (for tests). */
     std::size_t slabCapacity() const { return slab.size(); }
 
+    /**
+     * Wire the deferred-operation sink of the parallel engine. While
+     * set, every executed event runs under a thread-local ExecContext
+     * (see exec_context.hh) and cross-domain operations defer.
+     */
+    void setDeferSink(DeferSink *s) { sink = s; }
+
   private:
-    /** Ordering key referencing a slab slot; a 24-byte POD. */
+    /** Ordering key referencing a slab slot; a 32-byte POD. */
     struct Key
     {
         Cycle when;
         std::uint64_t seq;
         int priority;
+        std::int32_t station;
         std::uint32_t slot;
     };
 
@@ -157,16 +212,30 @@ class EventQueue
                 return a.when > b.when;
             if (a.priority != b.priority)
                 return a.priority > b.priority;
+            if (a.station != b.station)
+                return a.station > b.station;
             return a.seq > b.seq;
         }
     };
 
+    /** Next per-station sequence number (dense array, -1 at [0]). */
+    std::uint64_t
+    stationSeq(std::int32_t station)
+    {
+        auto index = static_cast<std::size_t>(station + 1);
+        if (index >= seqOf.size())
+            seqOf.resize(index + 1, 0);
+        return seqOf[index]++;
+    }
+
     std::priority_queue<Key, std::vector<Key>, Later> heap;
     std::vector<EventFn> slab;
     std::vector<std::uint32_t> freeSlots;
+    std::vector<std::uint64_t> seqOf;
     Cycle _now = 0;
-    std::uint64_t nextSeq = 0;
+    Key lastKey{invalidCycle, 0, 0, noStation, 0};
     std::uint64_t numExecuted = 0;
+    DeferSink *sink = nullptr;
 };
 
 } // namespace tss

@@ -1,0 +1,10 @@
+#include "exec_context.hh"
+
+namespace tss
+{
+
+thread_local ExecContext execCtx;
+
+Cycle deferFloor = 0;
+
+} // namespace tss

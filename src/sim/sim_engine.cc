@@ -1,0 +1,197 @@
+#include "sim_engine.hh"
+
+#include <algorithm>
+
+#include "logging.hh"
+#include "runtime/work_deque.hh"
+
+namespace tss
+{
+
+SimEngine::SimEngine(unsigned num_domains, unsigned sim_threads)
+{
+    TSS_ASSERT(num_domains >= 1, "engine needs at least one domain");
+    shards.reserve(num_domains);
+    for (unsigned d = 0; d < num_domains; ++d) {
+        auto s = std::make_unique<Shard>();
+        s->queue.setDeferSink(&s->sink);
+        shards.push_back(std::move(s));
+    }
+    threads = std::max(1u, std::min(sim_threads, num_domains));
+    if (threads > 1)
+        work = std::make_unique<WorkDeque>(num_domains);
+}
+
+SimEngine::~SimEngine()
+{
+    if (spawned) {
+        quit.store(true, std::memory_order_relaxed);
+        epoch.fetch_add(1, std::memory_order_release);
+        for (auto &w : workers)
+            w.join();
+    }
+}
+
+void
+SimEngine::setLookahead(Cycle l)
+{
+    TSS_ASSERT(l >= 1, "lookahead must be at least one cycle");
+    _lookahead = l;
+}
+
+Cycle
+SimEngine::now() const
+{
+    Cycle t = 0;
+    for (const auto &s : shards)
+        t = std::max(t, s->queue.now());
+    return t;
+}
+
+bool
+SimEngine::empty() const
+{
+    for (const auto &s : shards) {
+        if (!s->queue.empty())
+            return false;
+    }
+    return true;
+}
+
+std::uint64_t
+SimEngine::executed() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : shards)
+        n += s->queue.executed();
+    return n;
+}
+
+void
+SimEngine::spawnWorkers()
+{
+    if (spawned)
+        return;
+    spawned = true;
+    workers.reserve(threads - 1);
+    for (unsigned w = 0; w + 1 < threads; ++w)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+void
+SimEngine::workerLoop()
+{
+    std::uint64_t seen = 0;
+    Backoff backoff;
+    while (true) {
+        std::uint64_t e = epoch.load(std::memory_order_acquire);
+        if (e == seen) {
+            backoff.pause();
+            continue;
+        }
+        seen = e;
+        backoff.reset();
+        if (quit.load(std::memory_order_relaxed))
+            return;
+        std::uint32_t d;
+        while (work->steal(d)) {
+            // Re-read the limit *after* the successful steal: the
+            // steal's acquire synchronizes with the push that follows
+            // the limit store, and the window this shard belongs to
+            // cannot retire (remaining > 0) until we decrement — so
+            // this load always observes that shard's own window.
+            Cycle limit = windowLimit.load(std::memory_order_relaxed);
+            shards[d]->queue.runUntil(limit);
+            remaining.fetch_sub(1, std::memory_order_release);
+        }
+    }
+}
+
+void
+SimEngine::applyBarrier(Cycle window_end)
+{
+    merged.clear();
+    for (auto &s : shards) {
+        if (s->sink.empty())
+            continue;
+        auto ops = s->sink.take();
+        merged.insert(merged.end(),
+                      std::make_move_iterator(ops.begin()),
+                      std::make_move_iterator(ops.end()));
+    }
+    if (merged.empty())
+        return;
+    std::sort(merged.begin(), merged.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    for (std::size_t i = 1; i < merged.size(); ++i) {
+        TSS_ASSERT(!(merged[i - 1].first == merged[i].first),
+                   "duplicate deferred-operation key (station %d seq "
+                   "%llu at cycle %llu)",
+                   (int)merged[i].first.station,
+                   (unsigned long long)merged[i].first.seq,
+                   (unsigned long long)merged[i].first.when);
+    }
+    // Deliveries computed below the window end (only same-station
+    // self-messages can be) are floored at it; see exec_context.hh.
+    deferFloor = window_end;
+    for (auto &op : merged)
+        op.second();
+    deferFloor = 0;
+    merged.clear();
+}
+
+std::uint64_t
+SimEngine::run(std::uint64_t max_events)
+{
+    const std::uint64_t start = executed();
+    while (true) {
+        Cycle t0 = invalidCycle;
+        for (const auto &s : shards)
+            t0 = std::min(t0, s->queue.nextTime());
+        if (t0 == invalidCycle)
+            break; // all shards drained
+        const Cycle limit = t0 + _lookahead - 1;
+
+        if (threads == 1) {
+            // Inline windowed drain: same algorithm, no worker pool.
+            for (auto &s : shards) {
+                if (s->queue.nextTime() <= limit)
+                    s->queue.runUntil(limit);
+            }
+        } else {
+            spawnWorkers();
+            windowLimit.store(limit, std::memory_order_relaxed);
+            unsigned active = 0;
+            for (unsigned d = 0; d < shards.size(); ++d) {
+                if (shards[d]->queue.nextTime() <= limit)
+                    ++active;
+            }
+            remaining.store(active, std::memory_order_relaxed);
+            // The pushes' release stores publish windowLimit and
+            // `remaining` to every successful stealer.
+            for (unsigned d = 0; d < shards.size(); ++d) {
+                if (shards[d]->queue.nextTime() <= limit)
+                    work->push(d);
+            }
+            epoch.fetch_add(1, std::memory_order_release);
+            std::uint32_t d;
+            while (work->pop(d)) {
+                shards[d]->queue.runUntil(limit);
+                remaining.fetch_sub(1, std::memory_order_release);
+            }
+            Backoff backoff;
+            while (remaining.load(std::memory_order_acquire) > 0)
+                backoff.pause();
+        }
+
+        applyBarrier(limit + 1);
+
+        if (executed() - start >= max_events)
+            break; // deterministic overshoot: checked at barriers only
+    }
+    return executed() - start;
+}
+
+} // namespace tss

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Conservative parallel discrete-event engine. SimObject stations are
+ * partitioned into NoC domains (one per frontend pipeline: the slice
+ * plus its attached gateway/TRS stations, sources and processor-ring
+ * cores assigned round-robin, shared backend on domain 0); each
+ * domain owns a slab-recycled EventQueue shard. Domains synchronize
+ * in lookahead windows derived from the minimum inter-domain delivery
+ * delay of the active network: all shards with events inside the
+ * window [t0, t0 + L) drain concurrently on a Chase–Lev worker pool,
+ * and every operation that crosses domain state — NoC sends, DMA
+ * transfers, registry retirement, global gauges — is recorded in the
+ * draining shard's DeferSink instead of applied in place. At the
+ * window barrier the main thread sorts the union of all logs by the
+ * (cycle, station, per-station sequence, op) key and applies it
+ * sequentially.
+ *
+ * Determinism: the merge key is a pure function of simulated state,
+ * so the apply order — and therefore every simulated statistic — is
+ * bit-identical for any worker count, including 1. `simThreads == 1`
+ * runs the identical windowed algorithm inline; there is no separate
+ * sequential engine to diverge from.
+ *
+ * Conservative safety: the lookahead L is chosen so that any deferred
+ * NoC delivery between *distinct* stations computes to >= the window
+ * end (minimum delivery = serialization(>=1 cycle) + hop latency for
+ * ring/mesh, fixedLatency + 1 for the degenerate fabric). Same-
+ * station self-messages — which carry no inter-domain hazard — are
+ * floored at the window end (tss::deferFloor), the standard
+ * conservative "messages take at least one lookahead" rule.
+ */
+
+#ifndef TSS_SIM_SIM_ENGINE_HH
+#define TSS_SIM_SIM_ENGINE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "event_queue.hh"
+#include "exec_context.hh"
+
+namespace tss
+{
+
+/** The sharded, window-synchronized event engine. */
+class SimEngine
+{
+  public:
+    /**
+     * @param num_domains Number of event-queue shards.
+     * @param sim_threads Host threads draining windows (clamped to
+     *        the domain count; 1 = inline, no worker threads).
+     */
+    explicit SimEngine(unsigned num_domains, unsigned sim_threads = 1);
+    ~SimEngine();
+
+    SimEngine(const SimEngine &) = delete;
+    SimEngine &operator=(const SimEngine &) = delete;
+
+    /**
+     * Set the lookahead window length (cycles). Must be >= 1; derive
+     * it from TopologyNetwork::minDeliveryDelay() so that real routes
+     * are never floored.
+     */
+    void setLookahead(Cycle l);
+    Cycle lookahead() const { return _lookahead; }
+
+    unsigned numDomains() const
+    {
+        return static_cast<unsigned>(shards.size());
+    }
+
+    /** Worker threads that will actually drain (after clamping). */
+    unsigned effectiveThreads() const { return threads; }
+
+    EventQueue &shard(unsigned domain) { return shards[domain]->queue; }
+
+    /** Latest simulated time any shard has reached. */
+    Cycle now() const;
+
+    /** True when every shard has drained. */
+    bool empty() const;
+
+    /** Total events executed across all shards. */
+    std::uint64_t executed() const;
+
+    /**
+     * Run lookahead windows until every shard drains or at least
+     * @p max_events events have executed (checked at window barriers;
+     * a window may overshoot the budget — deterministically).
+     * @return Events executed by this call.
+     */
+    std::uint64_t run(std::uint64_t max_events = ~std::uint64_t(0));
+
+  private:
+    struct Shard
+    {
+        EventQueue queue;
+        DeferSink sink;
+    };
+
+    void drainShard(unsigned domain);
+    void applyBarrier(Cycle window_end);
+    void spawnWorkers();
+    void workerLoop();
+
+    std::vector<std::unique_ptr<Shard>> shards;
+    Cycle _lookahead = 1;
+    unsigned threads = 1;
+
+    /// @name Worker-pool window protocol.
+    /// Main publishes a window by storing the drain limit, pushing
+    /// the active shard ids and bumping `epoch`; everyone (main
+    /// included) steals shard ids from the one shared deque, and each
+    /// completed shard decrements `remaining` with release order so
+    /// the barrier's acquire load sees all shard state.
+    /// @{
+    std::unique_ptr<class WorkDeque> work;
+    std::atomic<std::uint64_t> epoch{0};
+    std::atomic<unsigned> remaining{0};
+    std::atomic<Cycle> windowLimit{0};
+    std::atomic<bool> quit{false};
+    std::vector<std::thread> workers;
+    bool spawned = false;
+    /// @}
+
+    /// Barrier scratch: the merged deferred-op log (reused).
+    std::vector<std::pair<DeferKey, EventCallback>> merged;
+};
+
+} // namespace tss
+
+#endif // TSS_SIM_SIM_ENGINE_HH

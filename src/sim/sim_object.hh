@@ -37,18 +37,37 @@ class SimObject
     EventQueue &eventQueue() { return _eventq; }
     Cycle curCycle() const { return _eventq.now(); }
 
+    /**
+     * The object's station id — its NoC node — used as the event
+     * tie-break key component and as the deferred-operation sort key
+     * under the parallel engine. EventQueue::noStation until wired.
+     */
+    std::int32_t station() const { return _station; }
+    void setStation(std::int32_t s) { _station = s; }
+
   protected:
     /** Schedule a member callback @p delay cycles from now. */
     void
     scheduleIn(Cycle delay, EventFn fn,
                int priority = EventQueue::defaultPriority)
     {
-        _eventq.scheduleIn(delay, std::move(fn), priority);
+        _eventq.scheduleStation(_eventq.now() + delay, _station,
+                                std::move(fn), priority);
+    }
+
+    /** Schedule a member callback at an absolute cycle. */
+    void
+    scheduleAt(Cycle when, EventFn fn,
+               int priority = EventQueue::defaultPriority)
+    {
+        _eventq.scheduleStation(when, _station, std::move(fn),
+                                priority);
     }
 
   private:
     std::string _name;
     EventQueue &_eventq;
+    std::int32_t _station = EventQueue::noStation;
 };
 
 } // namespace tss

@@ -8,6 +8,7 @@
 #define TSS_SIM_STATS_HH
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <map>
@@ -20,23 +21,69 @@
 namespace tss
 {
 
-/** A simple monotonically updated scalar statistic. */
+/**
+ * A simple monotonically updated scalar statistic. Updates are
+ * relaxed atomics: increments commute, so the final value is
+ * independent of which simulation-engine thread bumped the counter
+ * first — a requirement for the parallel engine's determinism.
+ */
 class Counter
 {
   public:
-    Counter &operator++() { ++_value; return *this; }
-    Counter &operator+=(std::uint64_t n) { _value += n; return *this; }
-    std::uint64_t value() const { return _value; }
-    void reset() { _value = 0; }
+    Counter &
+    operator++()
+    {
+        _value.fetch_add(1, std::memory_order_relaxed);
+        return *this;
+    }
+
+    Counter &
+    operator+=(std::uint64_t n)
+    {
+        _value.fetch_add(n, std::memory_order_relaxed);
+        return *this;
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return _value.load(std::memory_order_relaxed);
+    }
+
+    void reset() { _value.store(0, std::memory_order_relaxed); }
 
   private:
-    std::uint64_t _value = 0;
+    std::atomic<std::uint64_t> _value{0};
+};
+
+/** A tiny test-and-set spinlock (uncontended in practice). */
+class SpinLock
+{
+  public:
+    void
+    lock()
+    {
+        while (flag.test_and_set(std::memory_order_acquire)) {}
+    }
+
+    void unlock() { flag.clear(std::memory_order_release); }
+
+  private:
+    std::atomic_flag flag = ATOMIC_FLAG_INIT;
 };
 
 /**
  * A sampled distribution retaining every sample, so exact percentiles
  * are available. Sample counts in this simulator are bounded by the
  * number of tasks/messages, which keeps full retention cheap.
+ *
+ * sample() is thread-safe (the parallel engine's domains may sample
+ * one distribution concurrently) and every query is computed over the
+ * *sorted* samples — including sum(), so floating-point accumulation
+ * order is independent of the insertion order and the reported
+ * statistics are bit-identical however the engine's threads
+ * interleaved. Queries themselves are not safe against a concurrent
+ * sample(); they run after the simulation (or at a window barrier).
  */
 class Distribution
 {
@@ -44,8 +91,10 @@ class Distribution
     void
     sample(double v)
     {
+        lock.lock();
         samples.push_back(v);
         sorted = false;
+        lock.unlock();
     }
 
     std::size_t count() const { return samples.size(); }
@@ -53,8 +102,9 @@ class Distribution
     double
     sum() const
     {
+        ensureSorted();
         double s = 0;
-        for (double v : samples)
+        for (double v : sortedSamples)
             s += v;
         return s;
     }
@@ -115,6 +165,7 @@ class Distribution
     std::vector<double> samples;
     mutable std::vector<double> sortedSamples;
     mutable bool sorted = false;
+    mutable SpinLock lock;
 };
 
 /**

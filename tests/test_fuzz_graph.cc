@@ -237,6 +237,11 @@ TEST(FuzzGraph, ShardedPipelinesStayExactUnderSharing)
             cfg.numTrs = 2;
             cfg.numOrt = pipes == 1 ? 2 : 1;
             cfg.numPipelines = pipes;
+            // Fuzz point for the parallel engine: drain with as many
+            // host threads as domains ({1, 2, 4}); results must stay
+            // exact regardless (see test_sim_engine.cc for the
+            // explicit bit-identity check against simThreads = 1).
+            cfg.simThreads = pipes;
             if (pipes == 4) {
                 // One mesh + spread + batching + flow-control point
                 // in the fuzz matrix: the full NoC subsystem under
@@ -316,6 +321,7 @@ TEST(FuzzGraph, TopologyPlacementEquivalence)
             cfg.nocPlacementSeed = seed;
             cfg.batchOperands = noc.batch;
             cfg.slicePacketCredits = noc.credits;
+            cfg.simThreads = 2; // parallel drain under the NoC matrix
 
             std::string what = std::string(toString(noc.topology)) +
                 "/" + toString(noc.placement) + "/seed " +

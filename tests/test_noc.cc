@@ -10,6 +10,8 @@
 
 #include <algorithm>
 #include <map>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "noc/mesh.hh"
@@ -130,6 +132,91 @@ TEST(RingNetwork, PerPairFifo)
     ASSERT_EQ(sink.arrivals.size(), 20u);
     for (std::size_t i = 1; i < sink.arrivals.size(); ++i)
         EXPECT_GE(sink.arrivals[i], sink.arrivals[i - 1]);
+}
+
+TEST(RingNetwork, TwoHopPatternChargesExactlyTwoLinks)
+{
+    // Known traffic pattern: core 0 -> core 2 sits on local ring 0,
+    // stops 0 -> 2 clockwise — exactly two ring segments (0 and 1).
+    // Five spaced-out 16-byte messages (ser = 1 cycle each) must
+    // charge those two links five one-cycle reservations apiece and
+    // leave every other link in the fabric untouched.
+    EventQueue eq;
+    RingNetwork net("noc", eq, smallRing());
+    Sink sink(eq);
+    net.attach(net.coreNode(2), sink);
+    ASSERT_EQ(net.hopCount(net.coreNode(0), net.coreNode(2)), 2u);
+
+    constexpr unsigned sends = 5;
+    for (unsigned i = 0; i < sends; ++i) {
+        eq.schedule(i * 10, [&net] {
+            auto msg = std::make_unique<Message>(net.coreNode(0),
+                                                 net.coreNode(2), 16);
+            net.send(std::move(msg));
+        });
+    }
+    eq.run();
+    ASSERT_EQ(sink.arrivals.size(), sends);
+
+    std::vector<std::uint64_t> traversals = net.linkTraversals();
+    ASSERT_GT(traversals.size(), 2u);
+    EXPECT_EQ(traversals[0], sends); // ring 0, segment 0
+    EXPECT_EQ(traversals[1], sends); // ring 0, segment 1
+    for (std::size_t i = 2; i < traversals.size(); ++i)
+        EXPECT_EQ(traversals[i], 0u) << "link " << i;
+
+    Cycle now = eq.now();
+    std::vector<double> utils = net.linkUtilizations(now);
+    ASSERT_EQ(utils.size(), traversals.size());
+    double lanes = smallRing().lanesPerSegment;
+    double expected =
+        static_cast<double>(sends) / (static_cast<double>(now) * lanes);
+    EXPECT_NEAR(utils[0], expected, 1e-12);
+    EXPECT_NEAR(utils[1], expected, 1e-12);
+    for (std::size_t i = 2; i < utils.size(); ++i)
+        EXPECT_EQ(utils[i], 0.0) << "link " << i;
+
+    // Everything is under 10% busy, so the histogram must put every
+    // link of the fabric in the first bucket.
+    std::ostringstream os;
+    net.dumpStats(os, now);
+    std::string report = os.str();
+    EXPECT_NE(report.find("link utilization histogram"),
+              std::string::npos);
+    std::ostringstream bucket;
+    bucket << "[0%, 10%): " << utils.size() << " links";
+    EXPECT_NE(report.find(bucket.str()), std::string::npos) << report;
+}
+
+TEST(RingNetwork, SaturatedLinkLandsInTopHistogramBucket)
+{
+    // Back-to-back neighbour traffic keeps segment 0 busy nearly the
+    // whole run on one lane. With lanesPerSegment = 1 its utilization
+    // approaches 1.0, which must land in the closed top bucket
+    // [90%, 100%] while idle links stay in [0%, 10%).
+    EventQueue eq;
+    RingParams p = smallRing();
+    p.lanesPerSegment = 1;
+    RingNetwork net("noc", eq, p);
+    Sink sink(eq);
+    net.attach(net.coreNode(1), sink);
+
+    constexpr unsigned sends = 64;
+    for (unsigned i = 0; i < sends; ++i) {
+        auto msg = std::make_unique<Message>(net.coreNode(0),
+                                             net.coreNode(1), 256);
+        net.send(std::move(msg));
+    }
+    eq.run();
+    ASSERT_EQ(sink.arrivals.size(), sends);
+
+    std::vector<double> utils = net.linkUtilizations(eq.now());
+    EXPECT_GT(utils[0], 0.9);
+    std::ostringstream os;
+    net.dumpStats(os, eq.now());
+    EXPECT_NE(os.str().find("[90%, 100%]: 1 links"),
+              std::string::npos)
+        << os.str();
 }
 
 TEST(RingNetwork, ContentionDelaysTraffic)

@@ -85,6 +85,90 @@ TEST(EventQueue, RunHonorsMaxEvents)
     EXPECT_EQ(count, 10);
 }
 
+TEST(EventQueue, StationBreaksTiesBeforeSeq)
+{
+    // Same cycle, same priority: lower station id fires first, even
+    // when the higher station scheduled earlier (got a lower seq).
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleStation(5, 7, [&] { order.push_back(7); });
+    eq.scheduleStation(5, 2, [&] { order.push_back(2); });
+    eq.scheduleStation(5, 4, [&] { order.push_back(4); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{2, 4, 7}));
+}
+
+TEST(EventQueue, SameStationSameCycleIsFifo)
+{
+    // The per-station sequence number preserves program order among
+    // one station's same-cycle events, independent of how events of
+    // other stations interleave in the heap.
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i) {
+        eq.scheduleStation(9, 3, [&order, i] { order.push_back(i); });
+        eq.scheduleStation(9, 11, [&order, i] {
+            order.push_back(100 + i);
+        });
+    }
+    eq.run();
+    ASSERT_EQ(order.size(), 16u);
+    // All of station 3 before any of station 11, each FIFO.
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(order[i], i);
+        EXPECT_EQ(order[8 + i], 100 + i);
+    }
+}
+
+TEST(EventQueue, AnonymousStationKeepsGlobalFifo)
+{
+    // schedule() shares station -1; its seq is the historical global
+    // FIFO counter, and it sorts before every real (>= 0) station.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleStation(5, 0, [&] { order.push_back(10); });
+    eq.schedule(5, [&] { order.push_back(1); });
+    eq.schedule(5, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 10}));
+}
+
+TEST(EventQueue, SequencesAreIndependentPerStation)
+{
+    // Seqs are allocated per station: a burst from one station must
+    // not advance another's counter (cross-station collisions of the
+    // (when, priority, station, seq) key would break determinism and
+    // trip the duplicate-key assert in step()).
+    EventQueue eq;
+    std::vector<std::pair<int, int>> order;
+    for (int i = 0; i < 3; ++i)
+        eq.scheduleStation(1, 0, [&order, i] {
+            order.emplace_back(0, i);
+        });
+    eq.scheduleStation(1, 1, [&order] { order.emplace_back(1, 0); });
+    for (int i = 3; i < 5; ++i)
+        eq.scheduleStation(1, 0, [&order, i] {
+            order.emplace_back(0, i);
+        });
+    eq.run();
+    EXPECT_EQ(order,
+              (std::vector<std::pair<int, int>>{
+                  {0, 0}, {0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 0}}));
+}
+
+TEST(EventQueue, NextTimeTracksEarliestPending)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.nextTime(), invalidCycle);
+    eq.schedule(40, [] {});
+    eq.schedule(15, [] {});
+    EXPECT_EQ(eq.nextTime(), 15u);
+    eq.step();
+    EXPECT_EQ(eq.nextTime(), 40u);
+    eq.step();
+    EXPECT_EQ(eq.nextTime(), invalidCycle);
+}
+
 TEST(Clock, ConvertsPaperConstants)
 {
     // 3.2 GHz: 1 us = 3200 cycles; 58 ns ~ 186 cycles.

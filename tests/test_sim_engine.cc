@@ -1,0 +1,264 @@
+/**
+ * @file
+ * The conservative parallel engine (sim/sim_engine.hh): cross-domain
+ * delivery timing at the lookahead boundary and one cycle to either
+ * side, the conservative floor on below-window deliveries, and
+ * bit-identical System results across simThreads — the tentpole
+ * determinism contract, checked at unit scale here and over full
+ * topology/placement/batching configs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "core/system.hh"
+#include "driver/experiment.hh"
+#include "noc/network.hh"
+#include "sim/sim_engine.hh"
+
+namespace tss
+{
+namespace
+{
+
+/** Endpoint recording (arrival cycle, source) pairs. */
+class Recorder : public Endpoint
+{
+  public:
+    explicit Recorder(EventQueue &queue) : eq(queue) {}
+
+    void
+    receive(MessagePtr msg) override
+    {
+        log.emplace_back(eq.now(), msg->src);
+    }
+
+    EventQueue &eq;
+    std::vector<std::pair<Cycle, NodeId>> log;
+};
+
+/**
+ * One cross-domain send through a fresh two-domain engine: an event
+ * at cycle @p inject on domain 0 (station 0) injects a @p bytes
+ * message to station 1 (domain 1). Returns the delivery cycle.
+ * SimpleNetwork's delay is latency + ceil(bytes/16), so bytes picks
+ * the delivery relative to the lookahead L = latency + 1:
+ * 0 bytes = L - 1 (below the window), 16 = exactly L, 17 = L + 1.
+ */
+Cycle
+deliverOnce(unsigned sim_threads, Cycle inject, Bytes bytes)
+{
+    constexpr Cycle latency = 4;
+    SimEngine engine(2, sim_threads);
+    SimpleNetwork net("net", engine.shard(0), latency);
+    engine.setLookahead(net.minDeliveryDelay());
+
+    Recorder sink(engine.shard(1));
+    net.attach(1, sink);
+    net.bindQueue(0, engine.shard(0));
+    net.bindQueue(1, engine.shard(1));
+
+    engine.shard(0).scheduleStation(inject, 0, [&net, bytes] {
+        net.send(std::make_unique<Message>(0, 1, bytes));
+    });
+    engine.run();
+
+    EXPECT_TRUE(engine.empty());
+    EXPECT_EQ(sink.log.size(), 1u);
+    return sink.log.empty() ? invalidCycle : sink.log[0].first;
+}
+
+TEST(SimEngine, DeliveryAtLookaheadBoundaryIsExact)
+{
+    // 16 bytes serialize in 1 cycle: delivery = inject + latency + 1,
+    // exactly the window end — legal (the window is half-open) and
+    // must not be disturbed by the conservative floor.
+    for (unsigned threads : {1u, 2u})
+        EXPECT_EQ(deliverOnce(threads, 10, 16), 15u)
+            << threads << " threads";
+}
+
+TEST(SimEngine, DeliveryOneCyclePastBoundaryIsExact)
+{
+    // 17 bytes serialize in 2 cycles: one past the window end.
+    for (unsigned threads : {1u, 2u})
+        EXPECT_EQ(deliverOnce(threads, 10, 17), 16u)
+            << threads << " threads";
+}
+
+TEST(SimEngine, BelowWindowDeliveryIsFlooredAtWindowEnd)
+{
+    // A zero-byte message serializes in 0 cycles and would arrive one
+    // cycle *inside* the window that already drained. The engine's
+    // conservative floor lifts it to the window end — the same cycle
+    // for every thread count, so determinism survives the clamp.
+    for (unsigned threads : {1u, 2u})
+        EXPECT_EQ(deliverOnce(threads, 10, 0), 15u)
+            << threads << " threads";
+}
+
+TEST(SimEngine, CrossDomainPingPongMatchesSequential)
+{
+    // Two stations in different domains bounce a message back and
+    // forth; every bounce crosses the lookahead barrier. The complete
+    // arrival logs, final times and event counts must be identical
+    // with and without worker threads.
+    auto play = [](unsigned sim_threads) {
+        constexpr Cycle latency = 3;
+        SimEngine engine(2, sim_threads);
+        SimpleNetwork net("net", engine.shard(0), latency);
+        engine.setLookahead(net.minDeliveryDelay());
+
+        struct Bouncer : Endpoint
+        {
+            Network *net = nullptr;
+            NodeId self = 0;
+            int remaining = 0;
+            std::vector<std::pair<Cycle, NodeId>> log;
+            EventQueue *eq = nullptr;
+
+            void
+            receive(MessagePtr msg) override
+            {
+                log.emplace_back(eq->now(), msg->src);
+                if (remaining-- <= 0)
+                    return;
+                net->send(std::make_unique<Message>(self, msg->src,
+                                                    16));
+            }
+        };
+
+        Bouncer a, b;
+        a.net = &net;
+        a.self = 0;
+        a.remaining = 8;
+        a.eq = &engine.shard(0);
+        b.net = &net;
+        b.self = 1;
+        b.remaining = 8;
+        b.eq = &engine.shard(1);
+        net.attach(0, a);
+        net.attach(1, b);
+        net.bindQueue(0, engine.shard(0));
+        net.bindQueue(1, engine.shard(1));
+
+        engine.shard(0).scheduleStation(1, 0, [&net] {
+            net.send(std::make_unique<Message>(0, 1, 16));
+        });
+        engine.run();
+
+        auto log = a.log;
+        log.insert(log.end(), b.log.begin(), b.log.end());
+        return std::make_tuple(log, engine.now(), engine.executed());
+    };
+
+    auto sequential = play(1);
+    auto parallel = play(2);
+    EXPECT_EQ(std::get<0>(parallel), std::get<0>(sequential));
+    EXPECT_EQ(std::get<1>(parallel), std::get<1>(sequential));
+    EXPECT_EQ(std::get<2>(parallel), std::get<2>(sequential));
+    EXPECT_GT(std::get<0>(sequential).size(), 16u);
+}
+
+/** Every deterministic field of two RunResults must agree exactly. */
+void
+expectIdentical(const RunResult &a, const RunResult &b,
+                const std::string &what)
+{
+    EXPECT_EQ(a.makespan, b.makespan) << what;
+    EXPECT_EQ(a.eventsExecuted, b.eventsExecuted) << what;
+    EXPECT_EQ(a.messagesOnNoc, b.messagesOnNoc) << what;
+    EXPECT_EQ(a.versionsCreated, b.versionsCreated) << what;
+    EXPECT_EQ(a.versionsRenamed, b.versionsRenamed) << what;
+    EXPECT_EQ(a.dmaWritebacks, b.dmaWritebacks) << what;
+    EXPECT_EQ(a.gatewayStallCycles, b.gatewayStallCycles) << what;
+    EXPECT_EQ(a.sourceStallCycles, b.sourceStallCycles) << what;
+    EXPECT_EQ(a.allocWaitCycles, b.allocWaitCycles) << what;
+    EXPECT_EQ(a.decodeRateCycles, b.decodeRateCycles) << what;
+    EXPECT_EQ(a.avgTasksInFlight, b.avgTasksInFlight) << what;
+    EXPECT_EQ(a.linkTraversals, b.linkTraversals) << what;
+    EXPECT_EQ(a.linkWaitCycles, b.linkWaitCycles) << what;
+    EXPECT_EQ(a.maxLinkUtilization, b.maxLinkUtilization) << what;
+    EXPECT_EQ(a.startOrder, b.startOrder) << what;
+    EXPECT_EQ(a.coreOf, b.coreOf) << what;
+}
+
+TEST(SimEngine, SystemBitIdenticalAcrossSimThreads)
+{
+    // The acceptance contract: a full multi-pipeline System produces
+    // bit-identical results — timing, stats, and the complete
+    // scheduling decision — at simThreads 1, 2 and 4, across the
+    // topology / placement / batching / credit matrix.
+    struct NocPoint
+    {
+        TopologyKind topology;
+        PlacementKind placement;
+        bool batch;
+        unsigned credits;
+    };
+    const NocPoint points[] = {
+        {TopologyKind::Fixed, PlacementKind::Adjacent, false, 0},
+        {TopologyKind::Ring, PlacementKind::Spread, true, 1},
+        {TopologyKind::Mesh, PlacementKind::Random, true, 2},
+    };
+
+    TaskTrace trace = makeWorkload("Cholesky", 0.02, 3);
+    for (const NocPoint &p : points) {
+        PipelineConfig cfg = paperConfig(32);
+        cfg.numTrs = 4;
+        cfg.numPipelines = 4;
+        cfg.nocTopology = p.topology;
+        cfg.nocPlacement = p.placement;
+        cfg.batchOperands = p.batch;
+        cfg.slicePacketCredits = p.credits;
+
+        cfg.simThreads = 1;
+        RunResult baseline = runHardwareThreads(cfg, trace, 8);
+        for (unsigned threads : {2u, 4u}) {
+            cfg.simThreads = threads;
+            RunResult parallel = runHardwareThreads(cfg, trace, 8);
+            expectIdentical(parallel, baseline,
+                            std::string(toString(p.topology)) + "/" +
+                                toString(p.placement) + "/" +
+                                std::to_string(threads) + " threads");
+        }
+    }
+}
+
+TEST(SimEngine, RelocatedRealKernelBitIdenticalAcrossSimThreads)
+{
+    // Same contract on a real captured StarSs kernel relocated onto
+    // the synthetic address space — the fig17 reference path.
+    auto program = starss::makeCholeskyProgram(1, 6, 8);
+    TaskTrace trace = program->context().relocatedTrace();
+    PipelineConfig cfg = paperConfig(32);
+    cfg.numPipelines = 2;
+
+    cfg.simThreads = 1;
+    RunResult baseline = runHardwareThreads(cfg, trace, 4);
+    cfg.simThreads = 2;
+    RunResult parallel = runHardwareThreads(cfg, trace, 4);
+    expectIdentical(parallel, baseline, "relocated Cholesky");
+}
+
+TEST(SimEngine, ThreadsClampToDomainsAndOverClampIsIdentical)
+{
+    // simThreads beyond the domain count clamps (numPipelines = 1 has
+    // a single shard, so 8 threads degenerate to inline draining) and
+    // still produces the sequential result.
+    TaskTrace trace = makeWorkload("MatMul", 0.05, 7);
+    PipelineConfig cfg = paperConfig(16);
+
+    cfg.simThreads = 1;
+    RunResult baseline = runHardware(cfg, trace);
+    cfg.simThreads = 8;
+    Pipeline pipeline(cfg, trace);
+    EXPECT_EQ(pipeline.system().simEngine().effectiveThreads(), 1u);
+    RunResult clamped = pipeline.run();
+    expectIdentical(clamped, baseline, "over-clamped threads");
+}
+
+} // namespace
+} // namespace tss
