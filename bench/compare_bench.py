@@ -176,15 +176,28 @@ def capture_kernel(bench, out, extra=()):
 
 def parse_fig17_csv(text):
     """fig17 CSV -> wide rows under "sweep"/"ticket" (historical
-    keys) plus the relocated real-kernel rows under
-    "real_sweep"/"real_ticket", keyed by program name."""
+    keys), the relocated real-kernel rows under
+    "real_sweep"/"real_ticket" keyed by program name, the advisory
+    --relocate-seed layout rows under "relocate_sweep", and capture
+    metadata ("meta,<key>,<int>" rows, e.g. the pinned minimum-safe
+    OVT bound) as top-level keys."""
     out = {"sweep": {}, "ticket": {},
-           "real_sweep": {}, "real_ticket": {}}
+           "real_sweep": {}, "real_ticket": {},
+           "relocate_sweep": {}}
     for line in text.splitlines():
         cells = line.strip().split(",")
         if len(cells) > 1 and cells[1] == "program":
             continue  # CSV header rows
-        if cells[0] == "sweep":
+        if cells[0] == "meta":
+            out[cells[1]] = int(cells[2])
+        elif cells[0] == "relocate":
+            _, prog, seed, decode, makespan, messages = cells
+            out["relocate_sweep"].setdefault(prog, {})[seed] = {
+                "decode_cy": float(decode),
+                "makespan": int(makespan),
+                "messages": int(messages),
+            }
+        elif cells[0] == "sweep":
             _, prog, topo, place, batch, _tasks, decode, _makespan, \
                 messages, lane_wait, batch_fill = cells
             key = f"{topo}/{place}/{'batch' if batch == '1' else 'solo'}"
@@ -362,6 +375,27 @@ def compare_noc(baseline, fresh, gate):
     for prog, rows in base.get("real_ticket", {}).items():
         gate_ticket(f"ticket {prog}", rows,
                     new.get("real_ticket", {}).get(prog, {}))
+
+    # The --relocate-seed layout rows: deterministic per seed but
+    # legitimately layout-dependent, so advisory only.
+    for prog, rows in base.get("relocate_sweep", {}).items():
+        new_rows = new.get("relocate_sweep", {}).get(prog, {})
+        for seed, cell in rows.items():
+            if seed not in new_rows:
+                continue
+            gate.check(f"relocate {prog} seed {seed} decode cy/task",
+                       new_rows[seed]["decode_cy"], cell["decode_cy"],
+                       higher_is_better=False, advisory=True)
+
+    # Capture metadata: the pinned minimum-safe OVT bound must not
+    # drift silently between baseline and fresh (re-pinning the bound
+    # is a deliberate act that re-baselines both).
+    base_bound = base.get("ovt_min_safe_slots_per_slice")
+    new_bound = new.get("ovt_min_safe_slots_per_slice")
+    if base_bound is not None and base_bound != new_bound:
+        gate.failures.append(
+            f"ovt_min_safe_slots_per_slice: fresh {new_bound} != "
+            f"baseline {base_bound}")
 
     # Acceptance shape, re-checked on the recorded numbers: a spread
     # floorplan costs decode throughput, batching recovers part of
@@ -541,6 +575,29 @@ def selftest():
     g = Gate(0.10)
     compare_sim(sim, slow, g)
     expect("sim throughput drop stays advisory", g.failures == [])
+
+    # The pinned minimum-safe OVT bound: the constant the OvtCapacity
+    # tests assert (tests/ovt_bound.hh) and the metadata the noc
+    # baseline carries (BENCH_noc.json) must agree — a re-pin that
+    # touches one but not the other is exactly the silent drift this
+    # gate exists to catch.
+    import re
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    bound_header = os.path.join(repo, "tests", "ovt_bound.hh")
+    noc_baseline = os.path.join(repo, "BENCH_noc.json")
+    try:
+        with open(bound_header) as f:
+            match = re.search(r"kMinSafeOvtSlotsPerSlice\s*=\s*(\d+)",
+                              f.read())
+        with open(noc_baseline) as f:
+            recorded = json.load(f)["fig17_quick"].get(
+                "ovt_min_safe_slots_per_slice")
+        expect("pinned OVT bound consistent "
+               f"(header {match and match.group(1)}, "
+               f"baseline {recorded})",
+               match is not None and recorded == int(match.group(1)))
+    except (OSError, KeyError, json.JSONDecodeError) as err:
+        expect(f"pinned OVT bound readable ({err})", False)
 
     # Exact determinism diff on noc captures.
     run = {"machine": machine_fingerprint(),

@@ -35,6 +35,13 @@
  * cost (FrontendStats::decodeDeferrals counts the parked operands).
  * Oracle decisions are never replayed — see PipelineConfig.
  *
+ * Panel 3 sweeps --relocate-seed over the real-kernel programs: each
+ * seeded layout is deterministic, but timing may shift between
+ * layouts (addresses drive shardOf routing), so its rows are
+ * *advisory* in BENCH_noc.json. The CSV also carries the pinned
+ * minimum-safe OVT bound (tests/ovt_bound.hh) as capture metadata;
+ * the compare_bench selftest cross-checks it against the baseline.
+ *
  * Every non-oracle decision is checked against the renamed
  * dependency graph (start order must be topological) and the bench
  * exits non-zero on violation or on a failed shape gate. All
@@ -65,6 +72,8 @@
 #include "workload/address_space.hh"
 #include "workload/builder.hh"
 #include "workload/starss_programs.hh"
+
+#include "../tests/ovt_bound.hh"
 
 namespace
 {
@@ -165,23 +174,22 @@ main(int argc, char **argv)
     tss::RelocationOptions reloc;
     tss::applyRelocateArgs(args, reloc);
 
+    // Real-kernel reference programs, relocated onto the synthetic
+    // address space: every simulated number below is a pure function
+    // of (program, config) — ASLR-free, CI-gateable. The programs
+    // stay alive past the sweep for the relocation-seed panel.
+    auto chol = quick ? tss::starss::makeCholeskyProgram(1, 9, 8)
+                      : tss::starss::makeCholeskyProgram(1, 12, 12);
+    auto jac = quick ? tss::starss::makeJacobiProgram(1, 16, 32, 6)
+                     : tss::starss::makeJacobiProgram(1, 24, 32, 10);
+
     std::vector<SweepProg> programs;
     programs.push_back(
         {"wide", makeWideTrace(quick ? 600 : 2000, 1), true});
-    {
-        // Real-kernel reference rows, relocated onto the synthetic
-        // address space: every simulated number below is a pure
-        // function of (program, config) — ASLR-free, CI-gateable.
-        auto chol = quick ? tss::starss::makeCholeskyProgram(1, 9, 8)
-                          : tss::starss::makeCholeskyProgram(1, 12, 12);
-        programs.push_back(
-            {"cholesky", chol->context().relocatedTrace(reloc), false});
-        auto jac = quick
-            ? tss::starss::makeJacobiProgram(1, 16, 32, 6)
-            : tss::starss::makeJacobiProgram(1, 24, 32, 10);
-        programs.push_back(
-            {"jacobi", jac->context().relocatedTrace(reloc), false});
-    }
+    programs.push_back(
+        {"cholesky", chol->context().relocatedTrace(reloc), false});
+    programs.push_back(
+        {"jacobi", jac->context().relocatedTrace(reloc), false});
 
     const SweepPoint sweep[] = {
         {tss::TopologyKind::Ring, tss::PlacementKind::Adjacent, false},
@@ -205,6 +213,11 @@ main(int argc, char **argv)
                              "Batch", "decode cy/task", "makespan",
                              "msgs", "lane-wait cy", "fill"});
     if (csv) {
+        // Capture metadata: the minimum-safe OVT bound pinned by the
+        // OvtCapacity tests rides along in BENCH_noc.json so the
+        // compare_bench selftest can cross-check it.
+        std::cout << "meta,ovt_min_safe_slots_per_slice,"
+                  << tss::kMinSafeOvtSlotsPerSlice << "\n";
         std::cout << "sweep,program,topology,placement,batch,tasks,"
                   << "decode_cy,makespan,messages,lane_wait_cy,"
                   << "batch_fill\n";
@@ -322,6 +335,62 @@ main(int argc, char **argv)
     }
     if (!csv)
         ticket.print(std::cout);
+
+    // -------------------------------------- relocation layout panel
+    // Layout sensitivity of the relocated real-kernel rows: the same
+    // captured programs re-laid-out by seeded shuffle
+    // (RelocationOptions::layoutSeed, the --relocate-seed axis). Each
+    // seed is individually deterministic, but decode timing may
+    // legitimately shift with the layout (shardOf routing follows the
+    // addresses), so these rows are *advisory* in BENCH_noc.json —
+    // they document the spread, they do not gate.
+    std::cout << "\nRelocation layout sensitivity "
+              << "(--relocate-seed sweep, ring/adjacent)\n\n";
+    tss::TablePrinter relocTable({"Program", "Seed", "decode cy/task",
+                                  "makespan", "msgs"});
+    if (csv) {
+        std::cout << "relocate,program,seed,decode_cy,makespan,"
+                  << "messages\n";
+    }
+    struct RelocProg
+    {
+        std::string name;
+        tss::starss::RealProgram *program;
+    };
+    const RelocProg reloc_programs[] = {{"cholesky", chol.get()},
+                                        {"jacobi", jac.get()}};
+    for (const RelocProg &prog : reloc_programs) {
+        for (std::uint64_t seed : {0ULL, 1ULL, 2ULL}) {
+            tss::RelocationOptions opts = reloc;
+            opts.layoutSeed = seed;
+            tss::TaskTrace trace =
+                prog.program->context().relocatedTrace(opts);
+
+            tss::PipelineConfig cfg = tss::paperConfig(256);
+            cfg.numPipelines = pipes;
+            cfg.slicePacketCredits = credits;
+            cfg.simThreads = sim_threads;
+            tss::RunResult r =
+                tss::runHardwareThreads(cfg, trace, gen_threads);
+            checkTopological(trace, r, prog.name,
+                             "relocate-seed " + std::to_string(seed));
+
+            if (csv) {
+                std::cout << "relocate," << prog.name << "," << seed
+                          << "," << r.decodeRateCycles << ","
+                          << r.makespan << "," << r.messagesOnNoc
+                          << "\n";
+            } else {
+                relocTable.addRow(
+                    {prog.name, std::to_string(seed),
+                     tss::TablePrinter::num(r.decodeRateCycles),
+                     std::to_string(r.makespan),
+                     std::to_string(r.messagesOnNoc)});
+            }
+        }
+    }
+    if (!csv)
+        relocTable.print(std::cout);
 
     if (failures) {
         std::cerr << "\n" << failures << " check(s) failed\n";

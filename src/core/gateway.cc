@@ -195,6 +195,7 @@ Gateway::makeOperandMsg(const GwTask &task, unsigned index)
     oid.task = task.id;
     oid.index = static_cast<std::uint8_t>(index);
     DecodeOperandMsg msg(oid, op.dir, op.addr, op.bytes);
+    msg.traceIndex = task.traceIndex;
     if (registry.hasObjectTickets()) {
         ObjectTicket ticket =
             registry.objectTicket(task.traceIndex, index);

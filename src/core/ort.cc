@@ -1,5 +1,7 @@
 #include "ort.hh"
 
+#include <algorithm>
+
 #include "sim/hash.hh"
 
 namespace tss
@@ -23,6 +25,45 @@ Ort::Ort(std::string name, EventQueue &eq, Network &network, NodeId node,
         freeSlots.push_back(s - 1);
     readersIssued.assign(slots, 0);
     slotEpoch.assign(slots, 0);
+    slotReserved.assign(slots, 0);
+    reserveSlots = std::min<std::uint32_t>(cfg.ovtReserveSlots, slots);
+}
+
+std::size_t
+Ort::ticketParkedOperands() const
+{
+    std::size_t n = 0;
+    for (const auto &[addr, waiting] : deferredByAddr)
+        n += waiting.size();
+    return n;
+}
+
+Ort::ParkedOperand
+Ort::oldestParked() const
+{
+    ParkedOperand oldest;
+    auto consider = [&](const DecodeOperandMsg &msg, bool for_slot) {
+        // Deterministic winner: (trace index, operand index) — the
+        // container iteration order (an unordered_map) must not show.
+        if (oldest.valid &&
+            (oldest.traceIndex < msg.traceIndex ||
+             (oldest.traceIndex == msg.traceIndex &&
+              oldest.operand <= msg.op.index))) {
+            return;
+        }
+        oldest.valid = true;
+        oldest.traceIndex = msg.traceIndex;
+        oldest.operand = msg.op.index;
+        oldest.addr = msg.addr;
+        oldest.forSlot = for_slot;
+    };
+    for (const auto &msg : slotWaiters)
+        consider(msg, true);
+    for (const auto &[addr, waiting] : deferredByAddr) {
+        for (const auto &msg : waiting)
+            consider(msg, false);
+    }
+    return oldest;
 }
 
 std::size_t
@@ -104,6 +145,12 @@ Ort::process(ProtoMsg &msg)
         return handleVersionDead(static_cast<VersionDeadMsg &>(msg));
       case MsgType::VersionQuiescent:
         return handleQuiescent(static_cast<VersionQuiescentMsg &>(msg));
+      case MsgType::WatermarkAdvance:
+        // Data-free wakeup from a subscribed TRS (see protocol.hh):
+        // the watermark moved, so a capacity-parked operand may now
+        // be the machine-oldest and eligible for the reserve escape.
+        wakeSlotWaiters();
+        return {1, false};
       default:
         panic("ORT %u: unexpected message type %d", ortIndex,
               static_cast<int>(msg.type));
@@ -175,11 +222,13 @@ Ort::handleDecode(DecodeOperandMsg &msg)
 
     bool needs_version = !hit || !entry || !entry->hasCurVersion ||
         writesObject(msg.dir);
-    bool blocked = !entry || (needs_version && freeSlots.empty());
+    bool blocked = !entry ||
+        (needs_version && freeSlots.empty() && !livenessProtocol());
     if (blocked) {
-        // Full set (or no version credits): stall every gateway that
-        // feeds this directory slice until a version dies, leaving
-        // the packet parked at the head.
+        // Full set (or no version credits without the reserve
+        // escape): stall every gateway that feeds this directory
+        // slice until a version dies, leaving the packet parked at
+        // the head.
         if (!stallSent) {
             stallSent = true;
             stallStarted = curCycle();
@@ -189,6 +238,24 @@ Ort::handleDecode(DecodeOperandMsg &msg)
                 sendMsg(gw, std::make_unique<GatewayStallMsg>());
         }
         return {cost, true};
+    }
+
+    if (livenessProtocol()) {
+        if (needs_version) {
+            // Reserve rule: with the pool at the reserve mark, only
+            // the machine-oldest task claims; everyone else parks
+            // aside (the queue keeps flowing) and re-arbitrates on a
+            // version death or watermark advance.
+            if (!canClaimSlot(msg))
+                return parkForSlot(msg, cost);
+        } else if (slotReserved[entry->curVersion] &&
+                   !isOldestTask(msg)) {
+            // Joining a reserve-claimed version would pin a reserve
+            // slot with a younger task — the liveness argument needs
+            // reserve slots pinned only by tasks at or before the
+            // claim-time oldest, so the younger reader parks too.
+            return parkForSlot(msg, cost);
+        }
     }
 
     if (stallSent) {
@@ -222,8 +289,7 @@ Ort::handleDecode(DecodeOperandMsg &msg)
                         false, 0));
         } else {
             // Miss (or all versions dead): the data rests in memory.
-            std::uint32_t slot = freeSlots.back();
-            freeSlots.pop_back();
+            std::uint32_t slot = claimSlot();
             readersIssued[slot] = 1;
             sendMsg(ovtNode, std::make_unique<CreateVersionMsg>(
                 slot, slotEpoch[slot], OperandId{}, msg.addr,
@@ -246,8 +312,7 @@ Ort::handleDecode(DecodeOperandMsg &msg)
         bool has_prev = entry->hasCurVersion;
         std::uint32_t prev = entry->curVersion;
 
-        std::uint32_t slot = freeSlots.back();
-        freeSlots.pop_back();
+        std::uint32_t slot = claimSlot();
         readersIssued[slot] = 0;
 
         bool reads = readsObject(msg.dir);
@@ -292,6 +357,95 @@ Ort::handleDecode(DecodeOperandMsg &msg)
     return {cost, false};
 }
 
+bool
+Ort::isOldestTask(const DecodeOperandMsg &msg) const
+{
+    // A decoding task cannot have finished (readiness needs all its
+    // operand info), so its index is never below the watermark;
+    // equality means it *is* the machine-wide oldest unfinished task.
+    return registry &&
+        msg.traceIndex == registry->minUnfinishedIndex();
+}
+
+bool
+Ort::canClaimSlot(const DecodeOperandMsg &msg) const
+{
+    if (freeSlots.empty())
+        return false;
+    if (isOldestTask(msg))
+        return true; // ROB-head escape: may drain into the reserve
+    return freeSlots.size() > reserveSlots;
+}
+
+std::uint32_t
+Ort::claimSlot()
+{
+    // Claims made at or below the reserve mark (the escape regime)
+    // are flagged: such versions admit no younger readers, so the
+    // reserve is only ever pinned by tasks the watermark has already
+    // passed or is at — all of which finish and return it.
+    bool from_reserve =
+        livenessProtocol() && freeSlots.size() <= reserveSlots;
+    std::uint32_t slot = freeSlots.back();
+    freeSlots.pop_back();
+    slotReserved[slot] = from_reserve ? 1 : 0;
+    return slot;
+}
+
+Ort::Service
+Ort::parkForSlot(const DecodeOperandMsg &msg, Cycle cost)
+{
+    slotWaiters.push_back(msg);
+    ++slotParks;
+    ++stats.versionSlotParks;
+    if (!starveSubscribed) {
+        // First starvation: subscribe to every TRS's watermark
+        // advances. Each TRS acks with an immediate wakeup, so an
+        // advance that fired before the subscription landed cannot
+        // become a missed wakeup.
+        starveSubscribed = true;
+        for (NodeId trs : trsNodes)
+            sendMsg(trs, std::make_unique<SliceStarvedMsg>());
+    }
+    return {cost, false};
+}
+
+void
+Ort::wakeSlotWaiters()
+{
+    if (slotWaiters.empty())
+        return;
+    // Canonical wake order: (trace index, operand index) — oldest
+    // first, independent of park order, so re-arbitration is
+    // deterministic and the machine-oldest task is served first.
+    std::sort(slotWaiters.begin(), slotWaiters.end(),
+              [](const DecodeOperandMsg &a, const DecodeOperandMsg &b) {
+                  if (a.traceIndex != b.traceIndex)
+                      return a.traceIndex < b.traceIndex;
+                  return a.op.index < b.op.index;
+              });
+    // Wake a prefix under a conservative slot budget (a woken
+    // operand may not need a slot — joining a version instead — but
+    // over-waking just re-parks, and under-waking never strands: the
+    // next death or advance rescans).
+    std::size_t budget = freeSlots.size();
+    std::uint32_t oldest =
+        registry ? registry->minUnfinishedIndex() : 0;
+    std::size_t n = 0;
+    for (; n < slotWaiters.size() && budget > 0; ++n) {
+        bool is_oldest = slotWaiters[n].traceIndex == oldest;
+        if (!is_oldest && budget <= reserveSlots)
+            break;
+        --budget;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        sendMsg(nodeId(),
+                std::make_unique<DecodeAdmitMsg>(slotWaiters[i]));
+    }
+    slotWaiters.erase(slotWaiters.begin(),
+                      slotWaiters.begin() + static_cast<long>(n));
+}
+
 void
 Ort::returnCredit(NodeId gateway)
 {
@@ -324,6 +478,7 @@ Ort::handleVersionDead(VersionDeadMsg &msg)
 {
     freeSlots.push_back(msg.slot);
     ++slotEpoch[msg.slot];
+    slotReserved[msg.slot] = 0;
     Entry &entry = entries[msg.ortEntry];
     TSS_ASSERT(entry.valid && entry.liveVersions > 0,
                "version death for idle ORT entry");
@@ -333,6 +488,7 @@ Ort::handleVersionDead(VersionDeadMsg &msg)
         entry.hasCurVersion = false;
     }
     unpark();
+    wakeSlotWaiters();
     return {cfg.packetLatency, false};
 }
 

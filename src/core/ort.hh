@@ -16,6 +16,22 @@
  * their ticket comes due, so the slice's per-object serialization is
  * exactly the program order no matter how cross-pipeline message
  * timing interleaves.
+ *
+ * Version-slot liveness (ordered mode): the paired OVT's slot pool is
+ * finite, and ordered decode must never let younger operands hold the
+ * slots the oldest task needs (the classic capacity deadlock). The
+ * slice keeps a reserve of slots that only operands of the
+ * machine-wide oldest unfinished task may claim; anyone else who
+ * finds the pool at the reserve mark is *capacity-parked* in a side
+ * buffer (the queue keeps flowing — no head park, no gateway stall)
+ * and re-arbitrated through DecodeAdmit on a version death or a
+ * watermark advance, exactly like the ticket park/resume path.
+ * Versions claimed from the reserve regime are marked reserved and
+ * admit no younger readers, so reserve slots are only ever pinned by
+ * tasks at or before the then-oldest — which all finish — and the
+ * escape can always run (see PipelineConfig::ovtReserveSlots for the
+ * liveness argument). This is the squash-free skeleton a speculative
+ * (epoch-tagged) admission mode extends.
  */
 
 #ifndef TSS_CORE_ORT_HH
@@ -45,17 +61,22 @@ class Ort : public FrontendModule
      * Wire the slice to its peers. @p gateways lists every gateway
      * whose operands this slice may serve (all pipelines — stall flow
      * control is broadcast); @p ordered_admission enables the
-     * shared-data ticket protocol.
+     * shared-data ticket protocol. @p task_registry (ordered mode)
+     * supplies the oldest-unfinished watermark the version-slot
+     * reserve escape reads; without it a slot-exhausted slice falls
+     * back to the historical head-park + gateway stall.
      */
     void
     setPeers(std::vector<NodeId> gateways,
              std::vector<NodeId> trs_nodes, NodeId paired_ovt,
-             bool ordered_admission = false)
+             bool ordered_admission = false,
+             const TaskRegistry *task_registry = nullptr)
     {
         gatewayNodes = std::move(gateways);
         trsNodes = std::move(trs_nodes);
         ovtNode = paired_ovt;
         orderedAdmission = ordered_admission;
+        registry = task_registry;
     }
 
     /** Single-gateway convenience wiring (protocol unit tests). */
@@ -67,12 +88,28 @@ class Ort : public FrontendModule
                  paired_ovt);
     }
 
-    /// @name Introspection for tests.
+    /** One parked operand, as reported to the liveness watchdog. */
+    struct ParkedOperand
+    {
+        bool valid = false;
+        std::uint32_t traceIndex = 0; ///< owning task
+        unsigned operand = 0;
+        std::uint64_t addr = 0;
+        bool forSlot = false; ///< capacity-parked (vs ticket-parked)
+    };
+
+    /// @name Introspection for tests and the liveness watchdog.
     /// @{
     std::size_t liveEntries() const;
     std::size_t freeVersionSlots() const { return freeSlots.size(); }
     std::uint64_t stallEvents() const { return stalls.value(); }
     std::uint64_t deferredOps() const { return deferrals.value(); }
+    std::size_t slotParkedOperands() const { return slotWaiters.size(); }
+    std::size_t ticketParkedOperands() const;
+    std::uint64_t slotParkEvents() const { return slotParks.value(); }
+
+    /** Oldest (lowest trace index) operand parked in this slice. */
+    ParkedOperand oldestParked() const;
     /// @}
 
   protected:
@@ -82,7 +119,8 @@ class Ort : public FrontendModule
     isControl(MsgType type) const override
     {
         return type == MsgType::VersionDead ||
-            type == MsgType::VersionQuiescent;
+            type == MsgType::VersionQuiescent ||
+            type == MsgType::WatermarkAdvance;
     }
 
   private:
@@ -124,6 +162,35 @@ class Ort : public FrontendModule
     void commitAdmission(const DecodeOperandMsg &msg);
     /// @}
 
+    /// @name Version-slot reserve escape (ordered-mode liveness).
+    /// @{
+
+    /** True when the reserve/escape protocol is active. */
+    bool
+    livenessProtocol() const
+    {
+        return orderedAdmission && registry != nullptr;
+    }
+
+    /** Is @p msg an operand of the machine-oldest unfinished task? */
+    bool isOldestTask(const DecodeOperandMsg &msg) const;
+
+    /** May @p msg claim a version slot right now (reserve rule)? */
+    bool canClaimSlot(const DecodeOperandMsg &msg) const;
+
+    /** Capacity-park @p msg; subscribe to watermark advances once. */
+    Service parkForSlot(const DecodeOperandMsg &msg, Cycle cost);
+
+    /** Pop a version slot, marking reserve-regime claims reserved. */
+    std::uint32_t claimSlot();
+
+    /**
+     * Re-arbitrate capacity-parked operands that the reserve rule now
+     * admits, oldest first, bounded by the free-slot count.
+     */
+    void wakeSlotWaiters();
+    /// @}
+
     /**
      * Locate the entry for @p addr: a hit, a free/reclaimable way, or
      * nullptr when the set is full of live objects.
@@ -144,11 +211,21 @@ class Ort : public FrontendModule
     std::vector<NodeId> trsNodes;
 
     bool orderedAdmission = false;
+    const TaskRegistry *registry = nullptr;
     std::unordered_map<std::uint64_t, AdmitState> admitState;
     /// Out-of-turn operands parked per object until their ticket.
     std::unordered_map<std::uint64_t, std::vector<DecodeOperandMsg>>
         deferredByAddr;
     Counter deferrals;
+
+    /// Operands capacity-parked by the version-slot reserve rule.
+    std::vector<DecodeOperandMsg> slotWaiters;
+    /// Slots whose live version was claimed from the reserve regime;
+    /// younger readers may not join such a version (liveness).
+    std::vector<char> slotReserved;
+    std::uint32_t reserveSlots = 0; ///< effective reserve (clamped)
+    bool starveSubscribed = false;  ///< SliceStarved sent to the TRSs
+    Counter slotParks;
 
     std::uint32_t numSets;
     std::vector<Entry> entries; ///< numSets x ways

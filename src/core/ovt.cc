@@ -227,9 +227,12 @@ Ovt::tryRelease(std::uint32_t slot)
 
     // Final version of its object: it may only die once the ORT
     // grants retirement (no reader registrations in flight). Until
-    // then, send a quiescent hint at every drain.
+    // then, send a quiescent hint at every drain. The hint goes out
+    // regardless of the writeback policy — dead versions recycle
+    // their slot at retirement, never at trace end, which the
+    // version-slot liveness protocol (core/ort.hh) depends on.
     if (!v.retireAuthorized) {
-        if (cfg.eagerWriteback && !v.hintPending) {
+        if (!v.hintPending) {
             v.hintPending = true;
             sendMsg(ortNode, std::make_unique<VersionQuiescentMsg>(
                 slot, v.epoch, v.readersSeen, v.ortEntry));
@@ -237,9 +240,13 @@ Ovt::tryRelease(std::uint32_t slot)
         return;
     }
 
-    // Retirement granted. A renamed buffer must be copied back to the
-    // object's home address by the DMA engine first.
-    if (v.renamed && v.bufferAssigned && v.buffer != v.addr) {
+    // Retirement granted. With eager writeback (the paper's policy)
+    // a renamed buffer is copied back to the object's home address by
+    // the DMA engine first; the lazy ablation skips the copy (modeled
+    // as a bulk off-critical-path transfer after the run) and lets
+    // the slot recycle immediately.
+    if (cfg.eagerWriteback && v.renamed && v.bufferAssigned &&
+        v.buffer != v.addr) {
         v.dmaInFlight = true;
         ++stats.dmaWritebacks;
         dma.transfer(v.bytes, [this, slot] {

@@ -48,7 +48,12 @@ enum class MsgType : std::uint8_t
 
     // TRS -> all gateways (shared-data mode): the oldest-unfinished
     // watermark advanced; re-arbitrate reserve-gated allocations.
+    // Also TRS -> subscribed ORT slices (see SliceStarved).
     WatermarkAdvance,
+
+    // ORT -> every TRS (shared-data mode): this directory slice has
+    // capacity-parked operands; forward watermark advances to it.
+    SliceStarved,
 
     // Gateway -> ORT.
     DecodeOperand,
@@ -192,6 +197,22 @@ struct WatermarkAdvanceMsg : ProtoMsg
     WatermarkAdvanceMsg() : ProtoMsg(MsgType::WatermarkAdvance, 8) {}
 };
 
+/**
+ * ORT -> every TRS: the slice's version-slot pool starved and an
+ * operand was capacity-parked; forward watermark advances (as
+ * WatermarkAdvance wakeups) to this slice from now on. Sent once per
+ * slice per run (sticky subscription) the first time it parks an
+ * operand for slots — ample-capacity runs never park, never send it,
+ * and keep their message counts (and golden stats) untouched. The
+ * receiving TRS acks with an immediate WatermarkAdvance so an advance
+ * that fired before the subscription landed cannot become a missed
+ * wakeup.
+ */
+struct SliceStarvedMsg : ProtoMsg
+{
+    SliceStarvedMsg() : ProtoMsg(MsgType::SliceStarved, 8) {}
+};
+
 /** TRS tells the gateway blocks were freed (credit resync). */
 struct TrsSpaceMsg : ProtoMsg
 {
@@ -233,6 +254,11 @@ struct DecodeOperandMsg : ProtoMsg
     Bytes objectBytes;
     std::uint32_t epoch = 0;      ///< object writes preceding this
     std::uint32_t priorReads = 0; ///< epoch readers (writers only)
+    /// Trace index of the owning task, stamped by the gateway. The
+    /// slice compares it against the oldest-unfinished watermark to
+    /// decide whether the operand may claim a reserve version slot
+    /// (the task-level analogue of an ROB-head waiver).
+    std::uint32_t traceIndex = 0;
 };
 
 /**

@@ -161,7 +161,8 @@ SystemBuilder::build()
             auto ort = std::make_unique<Ort>(
                 "ort" + std::to_string(g), pipeq, net, ort_nodes[g],
                 g, scfg, sys->stats);
-            ort->setPeers(gw_nodes, trs_nodes, ovt_nodes[g], ordered);
+            ort->setPeers(gw_nodes, trs_nodes, ovt_nodes[g], ordered,
+                          &sys->registry);
             net.bindQueue(ort_nodes[g], pipeq);
             sys->ortModules.push_back(std::move(ort));
 
@@ -253,6 +254,34 @@ System::runWatchdog(std::uint64_t max_events)
     report.eventsExecuted = engine->executed();
     report.completed = all_done && report.tasksFinished == trace.size();
     report.wedged = !report.completed && engine->empty();
+
+    if (report.wedged) {
+        // Name the culprit: per-slice version-slot occupancy and the
+        // machine-oldest parked operand (capacity wedges show up as a
+        // full slice holding the oldest task's operand hostage).
+        for (std::size_t i = 0; i < ortModules.size(); ++i) {
+            const Ort &ort = *ortModules[i];
+            LivenessReport::SliceOccupancy occ;
+            occ.slice = static_cast<unsigned>(i);
+            occ.liveVersions = ovtModules[i]->liveVersions();
+            occ.freeVersionSlots = ort.freeVersionSlots();
+            occ.slotParked = ort.slotParkedOperands();
+            occ.ticketParked = ort.ticketParkedOperands();
+            report.slices.push_back(occ);
+
+            Ort::ParkedOperand parked = ort.oldestParked();
+            if (parked.valid &&
+                (!report.hasCulprit ||
+                 parked.traceIndex < report.culpritTask)) {
+                report.hasCulprit = true;
+                report.culpritSlice = static_cast<unsigned>(i);
+                report.culpritTask = parked.traceIndex;
+                report.culpritOperand = parked.operand;
+                report.culpritAddr = parked.addr;
+                report.culpritWaitsForSlot = parked.forSlot;
+            }
+        }
+    }
     return report;
 }
 

@@ -100,7 +100,10 @@ bool isDataPartitioned(const TaskTrace &trace,
 
 /**
  * Liveness verdict of a watchdog-bounded run: deadlock-hunting tests
- * assert on this instead of hanging (or fatal()ing the process).
+ * assert on this instead of hanging (or fatal()ing the process). On a
+ * wedge the report names the culprit — per-slice version-slot
+ * occupancy plus the machine-oldest parked operand and its owning
+ * task — so a capacity wedge is diagnosable from the report alone.
  */
 struct LivenessReport
 {
@@ -110,6 +113,27 @@ struct LivenessReport
     bool wedged = false;
     std::size_t tasksFinished = 0;
     std::uint64_t eventsExecuted = 0;
+
+    /** Version-slot occupancy of one directory slice at the wedge. */
+    struct SliceOccupancy
+    {
+        unsigned slice = 0;               ///< global ORT/OVT index
+        std::size_t liveVersions = 0;     ///< OVT slots in use
+        std::size_t freeVersionSlots = 0; ///< ORT slot credits left
+        std::size_t slotParked = 0;       ///< capacity-parked operands
+        std::size_t ticketParked = 0;     ///< order-parked operands
+    };
+    std::vector<SliceOccupancy> slices; ///< filled only when wedged
+
+    /// @name The culprit: the machine-wide oldest parked operand.
+    /// @{
+    bool hasCulprit = false;
+    unsigned culpritSlice = 0;          ///< slice holding the operand
+    std::uint32_t culpritTask = 0;      ///< owning task's trace index
+    unsigned culpritOperand = 0;        ///< operand index in the task
+    std::uint64_t culpritAddr = 0;      ///< object base address
+    bool culpritWaitsForSlot = false;   ///< capacity- vs ticket-parked
+    /// @}
 };
 
 /**

@@ -1,5 +1,7 @@
 #include "trs.hh"
 
+#include <algorithm>
+
 namespace tss
 {
 
@@ -20,6 +22,8 @@ Trs::process(ProtoMsg &msg)
     switch (msg.type) {
       case MsgType::AllocRequest:
         return handleAlloc(static_cast<AllocRequestMsg &>(msg));
+      case MsgType::SliceStarved:
+        return handleSliceStarved(msg);
       case MsgType::ScalarOperand:
         return handleScalar(static_cast<ScalarOperandMsg &>(msg));
       case MsgType::OperandInfo:
@@ -118,6 +122,23 @@ Trs::handleAlloc(AllocRequestMsg &msg)
         sendMsg(schedulerNode, std::make_unique<TaskReadyMsg>(id));
     }
     return {cost, false};
+}
+
+Trs::Service
+Trs::handleSliceStarved(const ProtoMsg &msg)
+{
+    // A directory slice's version-slot pool starved: forward every
+    // future watermark advance to it (see SliceStarvedMsg). Ack with
+    // an immediate wakeup — the watermark may have advanced while the
+    // subscription was in flight, and that advance must not be a
+    // missed wakeup (the slice re-checks eligibility on any wakeup,
+    // so a spurious one is harmless).
+    if (std::find(starvedOrtNodes.begin(), starvedOrtNodes.end(),
+                  msg.src) == starvedOrtNodes.end()) {
+        starvedOrtNodes.push_back(msg.src);
+    }
+    sendMsg(msg.src, std::make_unique<WatermarkAdvanceMsg>());
+    return {cfg.packetLatency, false};
 }
 
 void
@@ -364,12 +385,19 @@ Trs::applyFinish(std::uint32_t trace_index, Cycle flush_at)
     // inject cycle, would reserve lanes ahead of earlier traffic and
     // charge spurious contention).
     scheduleAt(std::max(flush_at, deferFloor), [this] {
-        for (NodeId gw : gatewayBroadcast) {
+        auto wake = [this](NodeId dst) {
             auto m = std::make_unique<WatermarkAdvanceMsg>();
             m->src = nodeId();
-            m->dst = gw;
+            m->dst = dst;
             network().send(MessagePtr(m.release()));
-        }
+        };
+        for (NodeId gw : gatewayBroadcast)
+            wake(gw);
+        // Slot-starved directory slices subscribed for the same
+        // wakeup: a capacity-parked operand whose task just became
+        // the machine-oldest may now take the reserve escape.
+        for (NodeId slice : starvedOrtNodes)
+            wake(slice);
     });
 }
 

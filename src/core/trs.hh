@@ -31,6 +31,8 @@ struct FrontendStats
     Counter tombstoneReplies;   ///< registrations to finished tasks
     Counter gatewayStallEvents;
     Counter decodeDeferrals; ///< out-of-ticket-order operands parked
+    Counter versionSlotParks; ///< operands capacity-parked by the
+                              ///< version-slot reserve rule
     Counter decodeBatches;   ///< multi-operand DecodeBatch packets
     Counter batchedOperands; ///< operands that rode a batch packet
     Distribution batchFill;  ///< operands per memory issue event
@@ -117,6 +119,7 @@ class Trs : public FrontendModule
     };
 
     Service handleAlloc(AllocRequestMsg &msg);
+    Service handleSliceStarved(const ProtoMsg &msg);
     Service handleScalar(ScalarOperandMsg &msg);
     Service handleOperandInfo(OperandInfoMsg &msg);
     Service handleRegisterConsumer(RegisterConsumerMsg &msg);
@@ -159,6 +162,11 @@ class Trs : public FrontendModule
     std::vector<NodeId> trsNodes;
     std::vector<NodeId> ovtNodes;
     std::vector<NodeId> gatewayBroadcast; ///< shared-data mode only
+
+    /// ORT slices subscribed to watermark advances (SliceStarved):
+    /// slices whose version-slot pool starved at least once. Ample
+    /// runs never subscribe, so they see zero extra traffic.
+    std::vector<NodeId> starvedOrtNodes;
 
     /// Live slots keyed by main-block index.
     std::unordered_map<std::uint32_t, TaskSlot> slots;

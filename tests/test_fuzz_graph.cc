@@ -21,7 +21,9 @@
 #include <vector>
 
 #include "core/pipeline.hh"
+#include "core/system.hh"
 #include "graph/dep_graph.hh"
+#include "ovt_bound.hh"
 #include "runtime/functional_exec.hh"
 #include "runtime/parallel_exec.hh"
 #include "runtime/starss.hh"
@@ -353,6 +355,129 @@ TEST(FuzzGraph, TopologyPlacementEquivalence)
             fexec.execute(decision.startOrder);
             EXPECT_EQ(simulated.snapshot(), expected)
                 << what << ": functional replay diverged";
+        }
+    }
+}
+
+/**
+ * The version-slot reserve/escape protocol under fuzz: random
+ * shared-object programs decoded with the OVT squeezed down to the
+ * pinned minimum-safe bound (tests/ovt_bound.hh), one slot above it,
+ * and twice it — across the NoC fabric matrix, the writeback policies
+ * and every parallel-engine width. Fuzz tasks carry at most 6 memory
+ * operands, below the bound of 10, so every configuration must
+ * complete (asserted through the liveness watchdog, not a hang into
+ * the ctest TIMEOUT), the decision must be bit-identical across
+ * --sim-threads {1, 2, 4}, and functional replay of each decision
+ * must match sequential execution bit for bit.
+ *
+ * Timing comparisons run on the *relocated* trace (synthetic
+ * addresses): a captured trace's heap addresses differ per program
+ * instance, so raw captures are only comparable on address-independent
+ * properties — the PR-5 lesson, load-bearing here.
+ */
+TEST(FuzzGraph, TinyOvtReserveEscapeStaysExact)
+{
+    struct SqueezeConfig
+    {
+        unsigned slots;
+        TopologyKind topology;
+        PlacementKind placement;
+        bool batch;
+        bool eagerWriteback;
+    };
+    const SqueezeConfig configs[] = {
+        {kMinSafeOvtSlotsPerSlice, TopologyKind::Fixed,
+         PlacementKind::Adjacent, false, true},
+        {kMinSafeOvtSlotsPerSlice + 1, TopologyKind::Ring,
+         PlacementKind::Spread, false, false},
+        {2 * kMinSafeOvtSlotsPerSlice, TopologyKind::Mesh,
+         PlacementKind::Spread, true, true},
+    };
+
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        FuzzProgram reference(seed);
+        reference.context().runSequential();
+        std::vector<std::uint8_t> expected = reference.snapshot();
+
+        FuzzProgram program(seed);
+        TaskTrace trace = program.context().relocatedTrace();
+        DepGraph renamed = DepGraph::build(trace, Semantics::Renamed);
+        auto makeThreads = [&trace] {
+            std::vector<unsigned> thread_of(trace.size());
+            for (std::size_t t = 0; t < trace.size(); ++t)
+                thread_of[t] = static_cast<unsigned>(t % 3);
+            return thread_of;
+        };
+
+        for (const SqueezeConfig &squeeze : configs) {
+            RunResult baseline;
+            for (unsigned threads : {1u, 2u, 4u}) {
+                PipelineConfig cfg;
+                cfg.numCores = 8;
+                cfg.numTrs = 2;
+                cfg.numOrt = 1;
+                cfg.numPipelines = 2;
+                cfg.ovtTotalBytes =
+                    Bytes(squeeze.slots) * 16 * cfg.totalOrt();
+                cfg.nocTopology = squeeze.topology;
+                cfg.nocPlacement = squeeze.placement;
+                cfg.batchOperands = squeeze.batch;
+                cfg.eagerWriteback = squeeze.eagerWriteback;
+                cfg.simThreads = threads;
+
+                std::string what = "seed " + std::to_string(seed) +
+                    ", " + std::to_string(squeeze.slots) +
+                    " slots/slice, " + toString(squeeze.topology) +
+                    "/" + toString(squeeze.placement) + ", " +
+                    std::to_string(threads) + " sim threads";
+
+                // Liveness first: the watchdog must report clean
+                // completion, not a wedge or an event-limit stop.
+                auto watched = SystemBuilder(cfg, trace)
+                                   .threads(makeThreads())
+                                   .build();
+                LivenessReport rep =
+                    watched->runWatchdog(1'000'000'000ULL);
+                ASSERT_TRUE(rep.completed)
+                    << what << ": finished " << rep.tasksFinished
+                    << "/" << trace.size()
+                    << (rep.wedged ? " (wedged)" : " (event limit)");
+                ASSERT_FALSE(rep.wedged) << what;
+
+                // Then the decision itself, engine-width invariant.
+                auto sys = SystemBuilder(cfg, trace)
+                               .threads(makeThreads())
+                               .build();
+                RunResult decision = sys->run(4'000'000'000ULL);
+                ASSERT_EQ(decision.startOrder.size(), trace.size())
+                    << what;
+                if (threads == 1) {
+                    baseline = decision;
+                } else {
+                    EXPECT_EQ(decision.makespan, baseline.makespan)
+                        << what;
+                    EXPECT_EQ(decision.startOrder, baseline.startOrder)
+                        << what;
+                    EXPECT_EQ(decision.coreOf, baseline.coreOf)
+                        << what;
+                }
+
+                EXPECT_TRUE(
+                    renamed.isTopologicalOrder(decision.startOrder))
+                    << what << ": start order violates the renamed "
+                    << "dependency graph";
+            }
+
+            // Final memory: functional replay of the squeezed-OVT
+            // decision on a fresh program instance must reproduce
+            // sequential execution bit for bit.
+            FuzzProgram replayed(seed);
+            FunctionalExecutor fexec(replayed.context());
+            fexec.execute(baseline.startOrder);
+            EXPECT_EQ(replayed.snapshot(), expected)
+                << "seed " << seed << ", " << squeeze.slots
+                << " slots/slice: functional replay diverged";
         }
     }
 }
