@@ -73,14 +73,14 @@ main(int argc, char **argv)
         for (const Variant &variant : variants) {
             tss::PipelineConfig cfg = tss::paperConfig(256);
             variant.tweak(cfg);
-            tss::Pipeline pipe(cfg, trace);
-            tss::RunResult r = pipe.run();
+            auto pipe = tss::SystemBuilder(cfg, trace).build();
+            tss::RunResult r = pipe->run();
             table.addRow(
                 {variant.name, tss::TablePrinter::num(r.speedup),
                  tss::TablePrinter::num(r.decodeRateCycles),
                  tss::TablePrinter::num(r.versionsRenamed),
                  tss::TablePrinter::num(
-                     pipe.frontendStats().dataReadyForwards.value())});
+                     pipe->frontendStats().dataReadyForwards.value())});
         }
         if (args.has("csv"))
             table.printCsv(std::cout);

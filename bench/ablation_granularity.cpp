@@ -46,7 +46,7 @@ int
 main(int argc, char **argv)
 {
     tss::CliArgs args(argc, argv);
-    auto cores = static_cast<unsigned>(args.getLong("cores", 256));
+    unsigned cores = tss::RunOptions::parse(args).cores.value_or(256);
     const std::vector<double> granularities = {1,  2,  5,   10,  15,
                                                30, 60, 120, 240};
 

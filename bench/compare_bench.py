@@ -52,6 +52,18 @@ sneaking back into simulated routing).
   bench itself already exits non-zero if any thread count is not
   bit-identical to sequential).
 
+* serve -- ``fig19_serve_load --quick``: the multi-tenant trace
+  service (src/serve/) under load. The ``closed_loop`` section —
+  per-tenant percentiles over per-job *simulated* makespans, plus
+  completed-job and simulated-task counts and the tenant carve base —
+  gates *exactly* (zero tolerance): every number there is a pure
+  function of (program panel, machine config, carve base). The
+  ``open_loop`` section (wall latencies, tasks/sec) is advisory, but
+  ``busy_rejections`` must be positive — the bench saturates
+  capacity-1 stages on purpose, and zero Busy responses means the
+  admission bound stopped engaging (the bench itself also exits
+  non-zero in that case; the compare re-checks the recorded value).
+
 Every gated comparison also hard-fails when either JSON lacks the
 machine fingerprint (``machine`` with ``hardware_concurrency`` /
 ``platform`` / ``machine``): a baseline without provenance makes the
@@ -63,7 +75,8 @@ Usage:
   compare_bench.py capture-parallel --bench PATH --out FRESH.json
   compare_bench.py capture-noc      --bench PATH --out FRESH.json
   compare_bench.py capture-sim      --bench PATH --out FRESH.json
-  compare_bench.py compare --kind {kernel,parallel,noc,sim} \
+  compare_bench.py capture-serve    --bench PATH --out FRESH.json
+  compare_bench.py compare --kind {kernel,parallel,noc,sim,serve} \
       --baseline BASE.json --fresh FRESH.json [--tolerance 0.15]
   compare_bench.py determinism --a RUN1.json --b RUN2.json
   compare_bench.py selftest
@@ -272,6 +285,23 @@ def capture_sim(bench, out, extra=()):
     print(f"captured sim metrics ({rows}) in {wall:.1f}s -> {out}")
 
 
+def capture_serve(bench, out, extra=()):
+    begin = time.monotonic()
+    result = run_bench([bench, "--quick", *extra])
+    wall = time.monotonic() - begin
+    fresh = json.loads(result.stdout)
+    fresh["machine"] = {**fresh.get("machine", {}),
+                        **machine_fingerprint()}
+    fresh["fig19_quick_wall_seconds"] = round(wall, 3)
+    with open(out, "w") as f:
+        json.dump(fresh, f, indent=2)
+        f.write("\n")
+    rows = ", ".join(
+        f"{t['name']} p95={t['sim_makespan_cycles']['p95']:g}cy"
+        for t in fresh["closed_loop"]["tenants"])
+    print(f"captured serve metrics ({rows}) in {wall:.1f}s -> {out}")
+
+
 class Gate:
     def __init__(self, tolerance):
         self.tolerance = tolerance
@@ -469,6 +499,58 @@ def compare_sim(baseline, fresh, gate):
                    higher_is_better=True, advisory=True)
 
 
+def compare_serve(baseline, fresh, gate):
+    """The trace service's gate: the closed-loop (simulated) section
+    exactly, the open-loop (wall) section advisory except that
+    backpressure must have engaged."""
+    base_tenants = {t["name"]: t
+                    for t in baseline.get("closed_loop", {})
+                    .get("tenants", [])}
+    new_tenants = {t["name"]: t
+                   for t in fresh.get("closed_loop", {})
+                   .get("tenants", [])}
+    if not base_tenants:
+        gate.failures.append("serve baseline has no closed_loop "
+                             "tenants")
+    for name, base_t in base_tenants.items():
+        new_t = new_tenants.get(name)
+        if new_t is None:
+            gate.failures.append(f"serve tenant {name} missing")
+            continue
+        # Zero tolerance: simulated quantities, byte-identical by
+        # construction; any drift means service semantics changed.
+        for key in ("completed", "simulated_tasks", "carve_base"):
+            if new_t.get(key) != base_t.get(key):
+                gate.failures.append(
+                    f"serve {name} {key}: fresh {new_t.get(key)} != "
+                    f"baseline {base_t.get(key)}")
+        base_pct = base_t.get("sim_makespan_cycles", {})
+        new_pct = new_t.get("sim_makespan_cycles", {})
+        for key, value in base_pct.items():
+            if new_pct.get(key) != value:
+                gate.failures.append(
+                    f"serve {name} sim_makespan {key}: fresh "
+                    f"{new_pct.get(key)} != baseline {value}")
+
+    open_loop = fresh.get("open_loop", {})
+    if not open_loop.get("busy_rejections", 0) > 0:
+        gate.failures.append(
+            "serve open loop recorded no busy_rejections — "
+            "backpressure did not engage")
+    base_open = baseline.get("open_loop", {})
+    if base_open.get("tasks_per_sec") and open_loop.get(
+            "tasks_per_sec") is not None:
+        gate.check("serve open-loop tasks/sec",
+                   open_loop["tasks_per_sec"],
+                   base_open["tasks_per_sec"],
+                   higher_is_better=True, advisory=True)
+    base_p95 = base_open.get("wall_latency_seconds", {}).get("p95")
+    new_p95 = open_loop.get("wall_latency_seconds", {}).get("p95")
+    if base_p95 and new_p95 is not None:
+        gate.check("serve open-loop wall p95", new_p95, base_p95,
+                   higher_is_better=False, advisory=True)
+
+
 def flatten(value, prefix=""):
     """Nested dict -> {"a/b/c": leaf} for readable exact diffs."""
     if not isinstance(value, dict):
@@ -576,6 +658,48 @@ def selftest():
     compare_sim(sim, slow, g)
     expect("sim throughput drop stays advisory", g.failures == [])
 
+    # The serve gate: closed-loop drift hard-fails, wall numbers stay
+    # advisory, and a fresh run without Busy rejections hard-fails.
+    serve = {
+        "machine": machine_fingerprint(),
+        "closed_loop": {"tenants": [
+            {"name": "tenant0", "completed": 8,
+             "simulated_tasks": 1360, "carve_base": 268435456,
+             "sim_makespan_cycles": {"count": 8, "p50": 35311.0,
+                                     "p95": 104659.0,
+                                     "p99": 104659.0,
+                                     "max": 104659.0}},
+        ]},
+        "open_loop": {"fired": 128, "accepted": 3,
+                      "busy_rejections": 125, "wall_seconds": 0.04,
+                      "tasks_per_sec": 43000.0,
+                      "wall_latency_seconds": {"count": 3,
+                                               "p50": 0.02,
+                                               "p95": 0.03,
+                                               "p99": 0.03,
+                                               "max": 0.03}},
+    }
+    g = Gate(0.10)
+    compare_serve(serve, copy.deepcopy(serve), g)
+    expect("clean serve compare passes", g.failures == [])
+    drifted_serve = copy.deepcopy(serve)
+    drifted_serve["closed_loop"]["tenants"][0][
+        "sim_makespan_cycles"]["p95"] = 104660.0
+    g = Gate(0.10)
+    compare_serve(serve, drifted_serve, g)
+    expect("serve sim-percentile drift fails", g.failures != [])
+    no_busy = copy.deepcopy(serve)
+    no_busy["open_loop"]["busy_rejections"] = 0
+    g = Gate(0.10)
+    compare_serve(serve, no_busy, g)
+    expect("serve without backpressure fails", g.failures != [])
+    slow_serve = copy.deepcopy(serve)
+    slow_serve["open_loop"]["tasks_per_sec"] = 1.0
+    slow_serve["open_loop"]["wall_latency_seconds"]["p95"] = 9.9
+    g = Gate(0.10)
+    compare_serve(serve, slow_serve, g)
+    expect("serve wall slowdown stays advisory", g.failures == [])
+
     # The pinned minimum-safe OVT bound: the constant the OvtCapacity
     # tests assert (tests/ovt_bound.hh) and the metadata the noc
     # baseline carries (BENCH_noc.json) must agree — a re-pin that
@@ -630,7 +754,7 @@ def main():
     sub = parser.add_subparsers(dest="cmd", required=True)
 
     for name in ("capture-kernel", "capture-parallel", "capture-noc",
-                 "capture-sim"):
+                 "capture-sim", "capture-serve"):
         p = sub.add_parser(name)
         p.add_argument("--bench", required=True)
         p.add_argument("--out", required=True)
@@ -640,7 +764,8 @@ def main():
 
     p = sub.add_parser("compare")
     p.add_argument("--kind",
-                   choices=("kernel", "parallel", "noc", "sim"),
+                   choices=("kernel", "parallel", "noc", "sim",
+                            "serve"),
                    required=True)
     p.add_argument("--baseline", required=True)
     p.add_argument("--fresh", required=True)
@@ -669,6 +794,9 @@ def main():
     if args.cmd == "capture-sim":
         capture_sim(args.bench, args.out, args.arg)
         return 0
+    if args.cmd == "capture-serve":
+        capture_serve(args.bench, args.out, args.arg)
+        return 0
 
     with open(args.baseline) as f:
         baseline = json.load(f)
@@ -685,6 +813,8 @@ def main():
         compare_noc(baseline, fresh, gate)
     elif args.kind == "sim":
         compare_sim(baseline, fresh, gate)
+    elif args.kind == "serve":
+        compare_serve(baseline, fresh, gate)
     else:
         compare_parallel(baseline, fresh, gate)
     if gate.failures:

@@ -162,17 +162,18 @@ int
 main(int argc, char **argv)
 {
     tss::CliArgs args(argc, argv);
+    tss::RunOptions opts = tss::RunOptions::parse(args);
     bool quick = args.scale(0.0, 1.0, 1.0) < 0.5; // --quick selects 0
     bool csv = args.has("csv");
-    auto pipes = static_cast<unsigned>(args.getLong("pipes", 4));
-    auto gen_threads =
-        static_cast<unsigned>(args.getLong("gen-threads", 8));
-    auto credits = static_cast<unsigned>(args.getLong("credits", 1));
-    auto sim_threads =
-        static_cast<unsigned>(args.getLong("sim-threads", 1));
+    unsigned pipes = opts.pipes.value_or(4);
+    unsigned gen_threads = opts.genThreads(8);
+    unsigned credits = opts.credits.value_or(1);
+    unsigned sim_threads = opts.simThreads.value_or(1);
 
+    // This bench CI-gates relocated real-kernel rows, so it relocates
+    // unconditionally; --relocate-seed/--relocate-align still apply.
     tss::RelocationOptions reloc;
-    tss::applyRelocateArgs(args, reloc);
+    opts.apply(reloc);
 
     // Real-kernel reference programs, relocated onto the synthetic
     // address space: every simulated number below is a pure function

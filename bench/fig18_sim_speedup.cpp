@@ -99,10 +99,10 @@ int
 main(int argc, char **argv)
 {
     tss::CliArgs args(argc, argv);
+    tss::RunOptions opts = tss::RunOptions::parse(args);
     bool quick = args.scale(0.0, 1.0, 1.0) < 0.5; // --quick selects 0
-    auto pipes = static_cast<unsigned>(args.getLong("pipes", 4));
-    auto gen_threads =
-        static_cast<unsigned>(args.getLong("gen-threads", 8));
+    unsigned pipes = opts.pipes.value_or(4);
+    unsigned gen_threads = opts.genThreads(8);
     auto reps = static_cast<unsigned>(
         args.getLong("reps", quick ? 1 : 3));
 

@@ -9,7 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
-#include "core/pipeline.hh"
+#include "core/system.hh"
 #include "graph/dep_graph.hh"
 #include "mem/free_list.hh"
 #include "noc/message_pool.hh"
@@ -58,8 +58,8 @@ BM_PipelineAllocationCounts(benchmark::State &state)
     for (auto _ : state) {
         tss::PipelineConfig cfg;
         cfg.numCores = 32;
-        tss::Pipeline pipe(cfg, trace);
-        tss::RunResult result = pipe.run();
+        auto pipe = tss::SystemBuilder(cfg, trace).build();
+        tss::RunResult result = pipe->run();
         messages += result.messagesOnNoc;
         events += result.eventsExecuted;
     }
@@ -153,8 +153,8 @@ BM_PipelineSimulationRate(benchmark::State &state)
     for (auto _ : state) {
         tss::PipelineConfig cfg;
         cfg.numCores = 64;
-        tss::Pipeline pipe(cfg, trace);
-        tss::RunResult result = pipe.run();
+        auto pipe = tss::SystemBuilder(cfg, trace).build();
+        tss::RunResult result = pipe->run();
         benchmark::DoNotOptimize(result.makespan);
     }
     state.SetItemsProcessed(state.iterations() * trace.size());

@@ -4,12 +4,13 @@
  * any of the nine paper benchmarks through the pipeline (and the
  * software-runtime baseline) with every knob on the command line.
  *
- * Usage:
+ * Usage (every knob is a tss::RunOptions knob, shared with the
+ * benches and tss-serve — see driver/run_options.hh):
  *   pipeline_explorer --workload=Cholesky --scale=0.3 --cores=256 \
  *       --trs=8 --ort=2 --trs-kb=6144 --ort-kb=512 [--sw] [--csv] \
  *       [--pipes=N] [--gen-threads=N] [--topology=fixed|ring|mesh] \
  *       [--placement=adjacent|spread|random] [--batch] [--credits=N] \
- *       [--relocate] [--relocate-seed=N]
+ *       [--relocate] [--relocate-seed=N] [--sim-threads=N]
  */
 
 #include <iostream>
@@ -19,48 +20,26 @@
 #include "driver/table.hh"
 #include "graph/dataflow_limit.hh"
 #include "graph/dep_graph.hh"
-#include "sim/logging.hh"
 #include "trace/trace_stats.hh"
 
 int
 main(int argc, char **argv)
 {
     tss::CliArgs args(argc, argv);
+    tss::RunOptions opts = tss::RunOptions::parse(args);
 
     std::string name = args.get("workload", "Cholesky");
     double scale = args.getDouble("scale", 0.3);
-    auto cores = static_cast<unsigned>(args.getLong("cores", 256));
 
     tss::TaskTrace trace =
         tss::makeWorkload(name, scale, args.getLong("seed", 1));
-    tss::RelocationOptions reloc;
-    if (tss::applyRelocateArgs(args, reloc)) {
-        trace = tss::relocateTrace(trace, reloc);
-    } else if (args.has("relocate-seed") || args.has("relocate-align")) {
-        tss::warn("--relocate-seed/--relocate-align have no effect "
-                  "without --relocate");
-    }
+    opts.maybeRelocate(trace);
     tss::TraceStats tstats = tss::TraceStats::compute(trace);
 
-    tss::PipelineConfig cfg = tss::paperConfig(cores);
-    cfg.numTrs = static_cast<unsigned>(args.getLong("trs", cfg.numTrs));
-    cfg.numOrt = static_cast<unsigned>(args.getLong("ort", cfg.numOrt));
-    cfg.trsTotalBytes = 1024 *
-        static_cast<tss::Bytes>(args.getLong("trs-kb", 6144));
-    cfg.ortTotalBytes = 1024 *
-        static_cast<tss::Bytes>(args.getLong("ort-kb", 512));
-    cfg.ovtTotalBytes = 1024 *
-        static_cast<tss::Bytes>(args.getLong("ovt-kb", 512));
-    cfg.renameOutputs = !args.has("no-rename");
-    cfg.consumerChaining = !args.has("no-chaining");
-    cfg.numPipelines =
-        static_cast<unsigned>(args.getLong("pipes", cfg.numPipelines));
-    cfg.slicePacketCredits = static_cast<unsigned>(
-        args.getLong("credits", cfg.slicePacketCredits));
-    tss::applyNocArgs(args, cfg);
-    auto gen_threads = std::max(
-        1u, static_cast<unsigned>(
-                args.getLong("gen-threads", cfg.numPipelines)));
+    tss::PipelineConfig cfg = tss::paperConfig(256);
+    opts.apply(cfg);
+    unsigned cores = cfg.numCores;
+    unsigned gen_threads = opts.genThreads(cfg.numPipelines);
 
     std::cout << "workload " << name << ": " << trace.size()
               << " tasks, avg data "
@@ -82,8 +61,10 @@ main(int argc, char **argv)
     std::vector<unsigned> thread_of(trace.size());
     for (std::size_t t = 0; t < trace.size(); ++t)
         thread_of[t] = static_cast<unsigned>(t % gen_threads);
-    tss::Pipeline pipeline(cfg, trace, thread_of);
-    tss::RunResult hw = pipeline.run();
+    auto sys = tss::SystemBuilder(cfg, trace)
+                   .threads(std::move(thread_of))
+                   .build();
+    tss::RunResult hw = sys->run();
     std::cout << "task superscalar (" << cfg.numPipelines
               << " pipeline(s) of " << cfg.numTrs << " TRS, "
               << cfg.numOrt << " ORT/OVT, "
@@ -126,7 +107,7 @@ main(int argc, char **argv)
 
     if (args.has("modstats")) {
         std::cout << "\n";
-        pipeline.dumpStats(std::cout);
+        sys->dumpStats(std::cout);
     }
 
     if (args.has("sw")) {

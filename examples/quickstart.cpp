@@ -7,7 +7,7 @@
 
 #include <iostream>
 
-#include "core/pipeline.hh"
+#include "core/system.hh"
 #include "graph/dataflow_limit.hh"
 #include "graph/dep_graph.hh"
 #include "runtime/parallel_exec.hh"
@@ -39,10 +39,10 @@ main()
     //    backend (scheduler + cores), two-level ring NoC.
     tss::PipelineConfig cfg;
     cfg.numCores = 64;
-    tss::Pipeline pipeline(cfg, trace);
+    auto pipeline = tss::SystemBuilder(cfg, trace).build();
 
     // 4. Run to completion.
-    tss::RunResult result = pipeline.run();
+    tss::RunResult result = pipeline->run();
     std::cout << "speedup over sequential: " << result.speedup
               << "x on " << cfg.numCores << " cores\n"
               << "task decode rate: " << result.decodeRateNs

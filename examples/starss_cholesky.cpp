@@ -17,7 +17,7 @@
 #include <iostream>
 #include <vector>
 
-#include "core/pipeline.hh"
+#include "core/system.hh"
 #include "runtime/functional_exec.hh"
 #include "runtime/parallel_exec.hh"
 #include "runtime/starss.hh"
@@ -159,7 +159,7 @@ main()
         seq_ctx.runSequential();
     }
 
-    // Same program, captured and scheduled by the simulated pipeline.
+    // Same program, captured and scheduled by the simulated pipeline->
     std::vector<Block> ooo_blocks = makeSpdMatrix();
     tss::starss::TaskContext ctx;
     spawnCholesky(ctx, ooo_blocks);
@@ -168,8 +168,8 @@ main()
 
     tss::PipelineConfig cfg;
     cfg.numCores = 32;
-    tss::Pipeline pipeline(cfg, ctx.trace());
-    tss::RunResult result = pipeline.run();
+    auto pipeline = tss::SystemBuilder(cfg, ctx.trace()).build();
+    tss::RunResult result = pipeline->run();
     std::cout << "pipeline schedule: speedup " << result.speedup
               << "x on " << cfg.numCores << " cores, decode "
               << result.decodeRateNs << " ns/task\n";
@@ -206,7 +206,7 @@ main()
     tss::starss::TaskContext replay_ctx;
     spawnCholesky(replay_ctx, replay_blocks);
     tss::RunResult replay_decision =
-        tss::Pipeline(cfg, replay_ctx.trace()).run();
+        tss::SystemBuilder(cfg, replay_ctx.trace()).build()->run();
     tss::starss::ParallelExecutor replay_exec(replay_ctx);
     tss::starss::ParallelRunStats replay_stats =
         replay_exec.runReplay(replay_decision);
@@ -229,7 +229,7 @@ main()
     tss::PipelineConfig small_cfg;
     small_cfg.numCores = par_stats.threads;
     double sim_speedup =
-        tss::Pipeline(small_cfg, par_ctx.trace()).run().speedup;
+        tss::SystemBuilder(small_cfg, par_ctx.trace()).build()->run().speedup;
     std::cout << "graph mode on " << par_stats.threads << " threads: "
               << par_stats.wallSeconds * 1e3 << " ms wall, "
               << par_stats.steals << " steals — simulated speedup on "

@@ -39,8 +39,10 @@ main(int argc, char **argv)
                                   args.getLong("seed", 1));
     }
 
-    tss::RelocationOptions reloc;
-    if (tss::applyRelocateArgs(args, reloc)) {
+    tss::RunOptions opts = tss::RunOptions::parse(args);
+    if (opts.relocateRequested()) {
+        tss::RelocationOptions reloc;
+        opts.apply(reloc);
         tss::RelocationMap map = tss::buildRelocationMap(trace, reloc);
         trace = map.apply(trace);
         std::cerr << "relocated " << map.regions().size()

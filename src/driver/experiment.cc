@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "runtime/parallel_exec.hh"
+#include "runtime/session.hh"
 #include "sim/logging.hh"
 
 namespace tss
@@ -11,8 +12,7 @@ namespace tss
 RunResult
 runHardware(const PipelineConfig &config, const TaskTrace &trace)
 {
-    Pipeline pipeline(config, trace);
-    return pipeline.run();
+    return SystemBuilder(config, trace).build()->run();
 }
 
 RunResult
@@ -51,34 +51,15 @@ paperConfig(unsigned cores)
 void
 applyNocArgs(const CliArgs &args, PipelineConfig &cfg)
 {
-    std::string topology = args.get("topology", "");
-    if (!topology.empty())
-        cfg.nocTopology = topologyFromString(topology);
-    std::string placement = args.get("placement", "");
-    if (!placement.empty())
-        cfg.nocPlacement = placementFromString(placement);
-    cfg.nocPlacementSeed = static_cast<std::uint64_t>(
-        args.getLong("placement-seed",
-                     static_cast<long>(cfg.nocPlacementSeed)));
-    if (args.has("batch"))
-        cfg.batchOperands = true;
-    if (args.has("ideal-admission"))
-        cfg.idealAdmission = true;
-    long sim_threads = args.getLong(
-        "sim-threads", static_cast<long>(cfg.simThreads));
-    if (sim_threads < 1)
-        fatal("--sim-threads must be >= 1");
-    cfg.simThreads = static_cast<unsigned>(sim_threads);
+    RunOptions::parse(args).applyNoc(cfg);
 }
 
 bool
 applyRelocateArgs(const CliArgs &args, RelocationOptions &opts)
 {
-    opts.layoutSeed = static_cast<std::uint64_t>(args.getLong(
-        "relocate-seed", static_cast<long>(opts.layoutSeed)));
-    opts.alignment = static_cast<std::uint64_t>(args.getLong(
-        "relocate-align", static_cast<long>(opts.alignment)));
-    return args.has("relocate");
+    RunOptions parsed = RunOptions::parse(args);
+    parsed.apply(opts);
+    return parsed.relocateRequested();
 }
 
 TaskTrace
@@ -100,17 +81,24 @@ runParallelReal(const starss::RealProgramInfo &info, std::uint64_t seed,
     RealExecResult result;
     result.threads = threads;
 
+    // Fresh program instances per execution, each driven through the
+    // Session lifecycle: the programs were captured at make() time,
+    // so seal() freezes them immediately and every consumer below
+    // sees the same immutable stream + relocated image.
     auto sequential = info.make(seed);
+    Session seq(sequential->context(), info.name + "/seq");
+    seq.seal();
     auto begin = std::chrono::steady_clock::now();
-    sequential->context().runSequential();
+    seq.runSequential();
     auto end = std::chrono::steady_clock::now();
     result.seqSeconds = seq_seconds_baseline > 0
         ? seq_seconds_baseline
         : std::chrono::duration<double>(end - begin).count();
 
     auto parallel = info.make(seed);
-    starss::ParallelExecutor exec(parallel->context());
-    starss::ParallelRunStats stats = exec.runGraph(threads);
+    Session par(parallel->context(), info.name + "/par");
+    par.seal();
+    starss::ParallelRunStats stats = par.runParallel(threads);
     result.parSeconds = stats.wallSeconds;
     result.versions = stats.versions;
     result.steals = stats.steals;
@@ -119,13 +107,13 @@ runParallelReal(const starss::RealProgramInfo &info, std::uint64_t seed,
     result.bitIdentical =
         parallel->snapshot() == sequential->snapshot();
 
-    // Simulate on the relocated trace: synthetic operand addresses
-    // make simSpeedup a pure function of (program, config) instead of
-    // varying with where the allocator placed the program's memory.
+    // Simulate the relocated image computed at seal(): synthetic
+    // operand addresses make simSpeedup a pure function of
+    // (program, config) instead of varying with where the allocator
+    // placed the program's memory.
     PipelineConfig cfg;
     cfg.numCores = threads;
-    result.simSpeedup =
-        runHardware(cfg, parallel->context().relocatedTrace()).speedup;
+    result.simSpeedup = par.simulate(cfg).speedup;
     return result;
 }
 

@@ -11,8 +11,9 @@
 #include <string>
 
 #include "core/config.hh"
-#include "core/pipeline.hh"
+#include "core/system.hh"
 #include "driver/cli.hh"
+#include "driver/run_options.hh"
 #include "swruntime/sw_runtime.hh"
 #include "trace/relocate.hh"
 #include "trace/task_trace.hh"
@@ -48,25 +49,19 @@ SwRunResult runSoftware(const SwRuntimeConfig &config,
 PipelineConfig paperConfig(unsigned cores = 256);
 
 /**
- * Apply the shared NoC command-line knobs to @p cfg:
- * `--topology=fixed|ring|mesh`, `--placement=adjacent|spread|random`,
- * `--placement-seed=N`, `--batch` (operand batching on),
- * `--ideal-admission` (ticket-cost oracle) and `--sim-threads=N`
- * (host threads for the parallel simulation engine; results are
- * bit-identical for every value). Unknown values call fatal();
- * absent keys leave @p cfg untouched.
+ * @deprecated Use RunOptions (driver/run_options.hh): this wrapper
+ * applies only the historical NoC subset (topology, placement,
+ * placement seed, batching, idealAdmission, simThreads) and will be
+ * removed next PR.
  */
+[[deprecated("use tss::RunOptions::parse(args).apply(cfg)")]]
 void applyNocArgs(const CliArgs &args, PipelineConfig &cfg);
 
 /**
- * Apply the trace-relocation command-line knobs to @p opts:
- * `--relocate-seed=N` (seeded layout shuffle for layout-sensitivity
- * sweeps, 0 = canonical first-touch order) and `--relocate-align=N`
- * (target region alignment). Returns true when `--relocate` was
- * given — callers decide whether relocation defaults on or off for
- * their trace (benches that CI-gate real-kernel rows relocate
- * unconditionally).
+ * @deprecated Use RunOptions (driver/run_options.hh): parse() +
+ * apply(RelocationOptions&) / relocateRequested(). Removed next PR.
  */
+[[deprecated("use tss::RunOptions::parse(args).apply(opts)")]]
 bool applyRelocateArgs(const CliArgs &args, RelocationOptions &opts);
 
 /**

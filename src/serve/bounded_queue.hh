@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Bounded MPMC queue connecting the tss-serve pipeline stages
+ * (parse -> relocate/admit -> execute -> report). The bound is the
+ * backpressure mechanism: when a stage falls behind, its input queue
+ * fills, tryPush() at the admission edge fails, and the server turns
+ * that failure into a Busy response instead of queueing unboundedly.
+ *
+ * close() begins a graceful drain: producers are refused, consumers
+ * keep draining until the queue is empty and only then observe
+ * end-of-stream. That ordering is what lets drain() guarantee every
+ * admitted job completes.
+ */
+
+#ifndef TSS_SERVE_BOUNDED_QUEUE_HH
+#define TSS_SERVE_BOUNDED_QUEUE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace tss::serve
+{
+
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(std::size_t capacity) : cap(capacity ? capacity : 1)
+    {}
+
+    /**
+     * Non-blocking push; false when the queue is full or closed.
+     * The admission edge calls this — a false return is backpressure.
+     */
+    bool
+    tryPush(T value)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            if (isClosed || items.size() >= cap)
+                return false;
+            items.push_back(std::move(value));
+        }
+        notEmpty.notify_one();
+        return true;
+    }
+
+    /**
+     * Blocking push for stage-to-stage handoff (backpressure then
+     * propagates upstream as the producing stage stalls). False when
+     * the queue closed while waiting — the value is dropped, which
+     * drain() forbids by closing stages strictly front-to-back.
+     */
+    bool
+    push(T value)
+    {
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            notFull.wait(lock, [this] {
+                return isClosed || items.size() < cap;
+            });
+            if (isClosed)
+                return false;
+            items.push_back(std::move(value));
+        }
+        notEmpty.notify_one();
+        return true;
+    }
+
+    /**
+     * Blocking pop; nullopt only when the queue is closed *and*
+     * drained — items enqueued before close() are always delivered.
+     */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        notEmpty.wait(lock,
+                      [this] { return isClosed || !items.empty(); });
+        if (items.empty())
+            return std::nullopt;
+        T value = std::move(items.front());
+        items.pop_front();
+        lock.unlock();
+        notFull.notify_one();
+        return value;
+    }
+
+    /** Refuse new items; wake every waiter. Idempotent. */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            isClosed = true;
+        }
+        notEmpty.notify_all();
+        notFull.notify_all();
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        return isClosed;
+    }
+
+    /** Instantaneous occupancy (a report-time observability number). */
+    std::size_t
+    depth() const
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        return items.size();
+    }
+
+    std::size_t capacity() const { return cap; }
+
+  private:
+    const std::size_t cap;
+    mutable std::mutex mtx;
+    std::condition_variable notEmpty;
+    std::condition_variable notFull;
+    std::deque<T> items;
+    bool isClosed = false;
+};
+
+} // namespace tss::serve
+
+#endif // TSS_SERVE_BOUNDED_QUEUE_HH

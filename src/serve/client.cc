@@ -1,0 +1,105 @@
+#include "client.hh"
+
+#include <cstring>
+#include <sstream>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/protocol.hh"
+
+namespace tss::serve
+{
+
+ServeClient::~ServeClient()
+{
+    close();
+}
+
+bool
+ServeClient::connect(const std::string &socket_path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path))
+        return false;
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return false;
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+ServeClient::hello(const std::string &tenant_name, TenantId &id,
+                   std::uint64_t &carve_base, std::uint64_t &carve_end)
+{
+    if (fd < 0 ||
+        !writeFrame(fd, {MsgType::Hello, tenant_name}))
+        return false;
+    Frame reply;
+    if (!readFrame(fd, reply) || reply.type != MsgType::HelloOk)
+        return false;
+    std::istringstream is(reply.payload);
+    return static_cast<bool>(is >> id >> carve_base >> carve_end);
+}
+
+SubmitStatus
+ServeClient::submit(const TaskTrace &trace, JobId &job)
+{
+    job = 0;
+    if (fd < 0 ||
+        !writeFrame(fd, {MsgType::Submit, formatTraceText(trace)}))
+        return SubmitStatus::Invalid;
+    Frame reply;
+    if (!readFrame(fd, reply))
+        return SubmitStatus::Invalid;
+    switch (reply.type) {
+    case MsgType::Accepted:
+        job = std::strtoull(reply.payload.c_str(), nullptr, 10);
+        return SubmitStatus::Accepted;
+    case MsgType::Busy:
+        return SubmitStatus::Busy;
+    default:
+        return SubmitStatus::Invalid;
+    }
+}
+
+bool
+ServeClient::stats(std::string &json)
+{
+    if (fd < 0 || !writeFrame(fd, {MsgType::Stats, ""}))
+        return false;
+    Frame reply;
+    if (!readFrame(fd, reply) || reply.type != MsgType::Report)
+        return false;
+    json = std::move(reply.payload);
+    return true;
+}
+
+bool
+ServeClient::shutdown()
+{
+    if (fd < 0 || !writeFrame(fd, {MsgType::Shutdown, ""}))
+        return false;
+    Frame reply;
+    return readFrame(fd, reply) && reply.type == MsgType::Done;
+}
+
+void
+ServeClient::close()
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+} // namespace tss::serve

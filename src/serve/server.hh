@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The socket front of tss-serve: an AF_UNIX stream listener that
+ * speaks the framed protocol (serve/protocol.hh) and forwards every
+ * request to a TraceService. One thread per connection — tenants are
+ * long-lived streaming clients, not a thundering herd, and the real
+ * concurrency lives in the service's stage pools.
+ */
+
+#ifndef TSS_SERVE_SERVER_HH
+#define TSS_SERVE_SERVER_HH
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hh"
+
+namespace tss::serve
+{
+
+class SocketServer
+{
+  public:
+    /** @p service must outlive the server. */
+    SocketServer(TraceService &service, std::string socket_path);
+    ~SocketServer();
+
+    SocketServer(const SocketServer &) = delete;
+    SocketServer &operator=(const SocketServer &) = delete;
+
+    /**
+     * Bind, listen and start the accept loop. False (with a warn) on
+     * any socket error — e.g. a stale socket file that is actually a
+     * live server.
+     */
+    bool start();
+
+    /**
+     * Block until a client asked for Shutdown and the service drain
+     * completed.
+     */
+    void waitShutdown();
+
+    /** Stop accepting, sever live connections, join all threads. */
+    void stop();
+
+    const std::string &path() const { return socketPath; }
+
+  private:
+    void acceptLoop();
+    void serveConnection(int fd);
+
+    TraceService &service;
+    std::string socketPath;
+    int listenFd = -1;
+    std::thread acceptor;
+
+    std::mutex mtx;
+    std::condition_variable shutdownCv;
+    bool shutdownRequested = false;
+    bool stopping = false;
+    std::vector<int> connFds;          ///< under mtx
+    std::vector<std::thread> handlers; ///< under mtx
+};
+
+} // namespace tss::serve
+
+#endif // TSS_SERVE_SERVER_HH

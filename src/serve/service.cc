@@ -1,0 +1,343 @@
+#include "service.hh"
+
+#include <iomanip>
+#include <sstream>
+
+#include "runtime/session.hh"
+#include "serve/protocol.hh"
+#include "sim/logging.hh"
+#include "trace/relocate.hh"
+
+namespace tss::serve
+{
+
+TraceService::TraceService(ServeConfig config)
+    : cfg(config), startTime(std::chrono::steady_clock::now()),
+      parseQueue(cfg.admitCapacity), admitQueue(cfg.stageCapacity),
+      executeQueue(cfg.stageCapacity), reportQueue(cfg.stageCapacity)
+{
+    if (cfg.carveBytes == 0)
+        fatal("tss-serve: carveBytes must be non-zero");
+    for (unsigned i = 0; i < std::max(1u, cfg.parseWorkers); ++i)
+        parsers.emplace_back([this] { parseWorker(); });
+    for (unsigned i = 0; i < std::max(1u, cfg.admitWorkers); ++i)
+        admitters.emplace_back([this] { admitWorker(); });
+    for (unsigned i = 0; i < std::max(1u, cfg.executeWorkers); ++i)
+        executors.emplace_back([this] { executeWorker(); });
+    reporter = std::thread([this] { reportWorker(); });
+}
+
+TraceService::~TraceService()
+{
+    drain();
+}
+
+TenantId
+TraceService::openTenant(std::string name)
+{
+    std::lock_guard<std::mutex> lock(stateMutex);
+    auto tenant = std::make_unique<Tenant>();
+    tenant->id = static_cast<TenantId>(tenants.size());
+    tenant->name = std::move(name);
+    tenant->carveBase = cfg.carveBase + tenant->id * cfg.carveBytes;
+    tenant->carveEnd = tenant->carveBase + cfg.carveBytes;
+    if (tenant->carveEnd <= tenant->carveBase)
+        fatal("tss-serve: tenant carve space exhausted");
+    tenants.push_back(std::move(tenant));
+    return tenants.back()->id;
+}
+
+SubmitResult
+TraceService::admit(Job job)
+{
+    if (closing.load())
+        return {SubmitStatus::Closed, 0};
+    job.id = nextJob.fetch_add(1);
+    job.admitTime = std::chrono::steady_clock::now();
+    JobId id = job.id;
+    TenantId tenant = job.tenant;
+
+    // stateMutex is held across the push so the admitted counters
+    // move atomically with queue occupancy: waitIdle() can never
+    // observe jobsRetired == jobsAdmitted while a job is in flight
+    // but uncounted. Lock order is always stateMutex before a queue
+    // mutex; workers take them one at a time.
+    std::lock_guard<std::mutex> lock(stateMutex);
+    if (tenant >= tenants.size())
+        return {SubmitStatus::Invalid, 0};
+    if (!parseQueue.tryPush(std::move(job))) {
+        if (closing.load())
+            return {SubmitStatus::Closed, 0};
+        ++tenants[tenant]->busyRejections;
+        return {SubmitStatus::Busy, 0};
+    }
+    ++tenants[tenant]->admitted;
+    ++jobsAdmitted;
+    return {SubmitStatus::Accepted, id};
+}
+
+SubmitResult
+TraceService::submitText(TenantId tenant, std::string text)
+{
+    Job job;
+    job.tenant = tenant;
+    job.text = std::move(text);
+    job.parsed = false;
+    return admit(std::move(job));
+}
+
+SubmitResult
+TraceService::submit(TenantId tenant, TaskTrace trace)
+{
+    Job job;
+    job.tenant = tenant;
+    job.trace = std::move(trace);
+    job.parsed = true;
+    return admit(std::move(job));
+}
+
+void
+TraceService::parseWorker()
+{
+    while (auto job = parseQueue.pop()) {
+        if (!job->parsed) {
+            if (!parseTraceText(job->text, job->trace)) {
+                job->outcome = Job::Outcome::ParseError;
+                reportQueue.push(std::move(*job));
+                continue;
+            }
+            job->parsed = true;
+            job->text.clear();
+        }
+        admitQueue.push(std::move(*job));
+    }
+}
+
+void
+TraceService::admitWorker()
+{
+    while (auto job = admitQueue.pop()) {
+        std::uint64_t carve_base, carve_end;
+        {
+            std::lock_guard<std::mutex> lock(stateMutex);
+            carve_base = tenants[job->tenant]->carveBase;
+            carve_end = tenants[job->tenant]->carveEnd;
+        }
+
+        auto session = std::make_unique<Session>(Session::forTrace(
+            job->trace.name.empty() ? "job" : job->trace.name));
+        session->submitTrace(job->trace);
+        RelocationOptions opts;
+        opts.targetBase = carve_base;
+        opts.alignment = cfg.alignment;
+        session->seal(opts);
+
+        // The admit check: every relocated region must land inside
+        // the tenant's carve, or tenants could alias each other's
+        // simulated directory state.
+        bool fits = true;
+        for (const RelocatedRegion &r :
+             session->relocationMap()->regions())
+            fits &= r.targetBase >= carve_base &&
+                r.targetBase + r.bytes <= carve_end;
+        if (!fits) {
+            job->outcome = Job::Outcome::CarveOverflow;
+            reportQueue.push(std::move(*job));
+            continue;
+        }
+        job->session = std::move(session);
+        executeQueue.push(std::move(*job));
+    }
+}
+
+void
+TraceService::executeWorker()
+{
+    while (auto job = executeQueue.pop()) {
+        RunResult result =
+            job->session->simulate(cfg.machine, cfg.genThreads);
+        job->simMakespan = result.makespan;
+        job->simTasks = result.numTasks;
+        job->session.reset();
+        reportQueue.push(std::move(*job));
+    }
+}
+
+void
+TraceService::reportWorker()
+{
+    while (auto job = reportQueue.pop())
+        finishJob(std::move(*job));
+}
+
+void
+TraceService::finishJob(Job job)
+{
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - job.admitTime)
+                      .count();
+    {
+        std::lock_guard<std::mutex> lock(stateMutex);
+        Tenant &tenant = *tenants[job.tenant];
+        switch (job.outcome) {
+        case Job::Outcome::Ok:
+            ++tenant.completed;
+            tenant.simulatedTasks += job.simTasks;
+            tenant.simMakespan.record(
+                static_cast<double>(job.simMakespan));
+            break;
+        case Job::Outcome::ParseError:
+            ++tenant.rejectedParse;
+            break;
+        case Job::Outcome::CarveOverflow:
+            ++tenant.rejectedCarve;
+            break;
+        }
+        tenant.wallLatency.record(wall);
+        ++jobsRetired;
+    }
+    idleCv.notify_all();
+}
+
+void
+TraceService::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(stateMutex);
+    idleCv.wait(lock, [this] { return jobsRetired == jobsAdmitted; });
+}
+
+void
+TraceService::drain()
+{
+    std::lock_guard<std::mutex> drain_lock(drainMutex);
+    {
+        std::lock_guard<std::mutex> lock(stateMutex);
+        if (didDrain)
+            return;
+    }
+    closing.store(true);
+
+    // Retire stages strictly front-to-back: close a stage's input,
+    // join its workers (they exit only once the queue is drained),
+    // then move on. Every admitted job therefore reaches the report
+    // stage before the report queue closes.
+    parseQueue.close();
+    for (auto &t : parsers)
+        t.join();
+    admitQueue.close();
+    for (auto &t : admitters)
+        t.join();
+    executeQueue.close();
+    for (auto &t : executors)
+        t.join();
+    reportQueue.close();
+    reporter.join();
+
+    std::lock_guard<std::mutex> lock(stateMutex);
+    didDrain = true;
+}
+
+ServiceReport
+TraceService::report() const
+{
+    ServiceReport out;
+    out.parseDepth = parseQueue.depth();
+    out.admitDepth = admitQueue.depth();
+    out.executeDepth = executeQueue.depth();
+    out.reportDepth = reportQueue.depth();
+
+    std::lock_guard<std::mutex> lock(stateMutex);
+    out.wallSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - startTime)
+                          .count();
+    out.drained = didDrain;
+    for (const auto &tenant : tenants) {
+        TenantReport tr;
+        tr.id = tenant->id;
+        tr.name = tenant->name;
+        tr.carveBase = tenant->carveBase;
+        tr.carveEnd = tenant->carveEnd;
+        tr.admitted = tenant->admitted;
+        tr.completed = tenant->completed;
+        tr.rejectedParse = tenant->rejectedParse;
+        tr.rejectedCarve = tenant->rejectedCarve;
+        tr.busyRejections = tenant->busyRejections;
+        tr.simulatedTasks = tenant->simulatedTasks;
+        tr.simMakespanCycles = tenant->simMakespan.summary();
+        tr.wallLatencySeconds = tenant->wallLatency.summary();
+        tr.tasksPerSec = out.wallSeconds > 0
+            ? static_cast<double>(tenant->simulatedTasks) /
+                out.wallSeconds
+            : 0;
+        out.tenants.push_back(std::move(tr));
+    }
+    return out;
+}
+
+std::uint64_t
+TraceService::carveBaseOf(TenantId tenant) const
+{
+    std::lock_guard<std::mutex> lock(stateMutex);
+    if (tenant >= tenants.size())
+        fatal("tss-serve: unknown tenant %u", tenant);
+    return tenants[tenant]->carveBase;
+}
+
+std::uint64_t
+TraceService::carveEndOf(TenantId tenant) const
+{
+    std::lock_guard<std::mutex> lock(stateMutex);
+    if (tenant >= tenants.size())
+        fatal("tss-serve: unknown tenant %u", tenant);
+    return tenants[tenant]->carveEnd;
+}
+
+namespace
+{
+
+void
+jsonSummary(std::ostream &os, const char *key,
+            const PercentileSummary &s)
+{
+    os << "\"" << key << "\": {\"count\": " << s.count
+       << ", \"p50\": " << s.p50 << ", \"p95\": " << s.p95
+       << ", \"p99\": " << s.p99 << ", \"mean\": " << s.mean
+       << ", \"max\": " << s.max << "}";
+}
+
+} // namespace
+
+std::string
+toJson(const ServiceReport &report)
+{
+    std::ostringstream os;
+    os << std::setprecision(12);
+    os << "{\n  \"wall_seconds\": " << report.wallSeconds
+       << ",\n  \"drained\": " << (report.drained ? "true" : "false")
+       << ",\n  \"queues\": {\"parse\": " << report.parseDepth
+       << ", \"admit\": " << report.admitDepth
+       << ", \"execute\": " << report.executeDepth
+       << ", \"report\": " << report.reportDepth << "}"
+       << ",\n  \"tenants\": [\n";
+    for (std::size_t i = 0; i < report.tenants.size(); ++i) {
+        const TenantReport &t = report.tenants[i];
+        os << (i ? ",\n" : "") << "    {\"id\": " << t.id
+           << ", \"name\": \"" << t.name << "\""
+           << ", \"carve_base\": " << t.carveBase
+           << ", \"carve_end\": " << t.carveEnd
+           << ", \"admitted\": " << t.admitted
+           << ", \"completed\": " << t.completed
+           << ", \"rejected_parse\": " << t.rejectedParse
+           << ", \"rejected_carve\": " << t.rejectedCarve
+           << ", \"busy_rejections\": " << t.busyRejections
+           << ", \"simulated_tasks\": " << t.simulatedTasks << ",\n     ";
+        jsonSummary(os, "sim_makespan_cycles", t.simMakespanCycles);
+        os << ",\n     ";
+        jsonSummary(os, "wall_latency_seconds", t.wallLatencySeconds);
+        os << ",\n     \"tasks_per_sec\": " << t.tasksPerSec << "}";
+    }
+    os << "\n  ]\n}\n";
+    return os.str();
+}
+
+} // namespace tss::serve

@@ -5,6 +5,6 @@ namespace tss
 
 thread_local ExecContext execCtx;
 
-Cycle deferFloor = 0;
+thread_local Cycle deferFloor = 0;
 
 } // namespace tss

@@ -127,8 +127,13 @@ extern thread_local ExecContext execCtx;
  * barrier, making the bound a no-op). Set by the engine around the
  * apply phase; read by the apply closures (network delivery, DMA
  * completion) as `max(computed_time, deferFloor)`.
+ *
+ * Thread-local, like execCtx: a barrier applies on one thread, so the
+ * floor must only be visible to that thread's closures. Independent
+ * Systems simulating concurrently (tss-serve runs one per execute
+ * worker) must not observe each other's window ends.
  */
-extern Cycle deferFloor;
+extern thread_local Cycle deferFloor;
 
 } // namespace tss
 

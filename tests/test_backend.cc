@@ -6,7 +6,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/pipeline.hh"
+#include "core/system.hh"
 #include "sim/random.hh"
 #include "workload/address_space.hh"
 #include "workload/builder.hh"
@@ -49,8 +49,8 @@ TEST(Backend, NearPerfectUtilizationOnIndependentWork)
 {
     // 16 cores, 160 equal tasks: speedup must be close to 16.
     TaskTrace trace = flatTasks(160, 100'000);
-    Pipeline pipe(backendConfig(16), trace);
-    RunResult result = pipe.run(500'000'000);
+    auto pipe = SystemBuilder(backendConfig(16), trace).build();
+    RunResult result = pipe->run(500'000'000);
     EXPECT_GT(result.speedup, 14.5);
     EXPECT_LE(result.speedup, 16.0);
 }
@@ -58,10 +58,10 @@ TEST(Backend, NearPerfectUtilizationOnIndependentWork)
 TEST(Backend, SchedulerDispatchesEveryTaskOnce)
 {
     TaskTrace trace = flatTasks(500, 10'000);
-    Pipeline pipe(backendConfig(8), trace);
-    pipe.run(500'000'000);
-    EXPECT_EQ(pipe.scheduler().tasksDispatched(), 500u);
-    EXPECT_EQ(pipe.scheduler().queuedTasks(), 0u);
+    auto pipe = SystemBuilder(backendConfig(8), trace).build();
+    pipe->run(500'000'000);
+    EXPECT_EQ(pipe->scheduler().tasksDispatched(), 500u);
+    EXPECT_EQ(pipe->scheduler().queuedTasks(), 0u);
 }
 
 TEST(Backend, LoadBalancesAcrossCores)
@@ -82,8 +82,8 @@ TEST(Backend, LoadBalancesAcrossCores)
         b.commit();
     }
     unsigned cores = 8;
-    Pipeline pipe(backendConfig(cores), trace);
-    RunResult result = pipe.run(500'000'000);
+    auto pipe = SystemBuilder(backendConfig(cores), trace).build();
+    RunResult result = pipe->run(500'000'000);
     double lower = static_cast<double>(total) / cores;
     EXPECT_LT(static_cast<double>(result.makespan), lower * 1.15);
 }
@@ -98,18 +98,18 @@ TEST(Backend, PrefetchHidesDispatchLatency)
     PipelineConfig without = backendConfig(8);
     without.corePrefetch = 0;
 
-    Pipeline p1(with, trace);
-    Cycle makespan_with = p1.run(1'000'000'000).makespan;
-    Pipeline p2(without, trace);
-    Cycle makespan_without = p2.run(1'000'000'000).makespan;
+    auto p1 = SystemBuilder(with, trace).build();
+    Cycle makespan_with = p1->run(1'000'000'000).makespan;
+    auto p2 = SystemBuilder(without, trace).build();
+    Cycle makespan_without = p2->run(1'000'000'000).makespan;
     EXPECT_LE(makespan_with, makespan_without);
 }
 
 TEST(Backend, SingleCoreSerializesEverything)
 {
     TaskTrace trace = flatTasks(50, 10'000);
-    Pipeline pipe(backendConfig(1), trace);
-    RunResult result = pipe.run(500'000'000);
+    auto pipe = SystemBuilder(backendConfig(1), trace).build();
+    RunResult result = pipe->run(500'000'000);
     EXPECT_GE(result.makespan, 50u * 10'000u);
     EXPECT_LE(result.speedup, 1.0);
 }
@@ -119,8 +119,8 @@ TEST(Backend, MoreCoresNeverSlower)
     TaskTrace trace = genCholeskyBlocked(10, 4096, 1);
     double prev = 0;
     for (unsigned cores : {4u, 16u, 64u}) {
-        Pipeline pipe(backendConfig(cores), trace);
-        double speedup = pipe.run(1'000'000'000).speedup;
+        auto pipe = SystemBuilder(backendConfig(cores), trace).build();
+        double speedup = pipe->run(1'000'000'000).speedup;
         EXPECT_GE(speedup, prev * 0.98) << cores;
         prev = speedup;
     }

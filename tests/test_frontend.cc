@@ -8,7 +8,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/pipeline.hh"
+#include "core/system.hh"
 #include "graph/dep_graph.hh"
 #include "workload/address_space.hh"
 #include "workload/builder.hh"
@@ -51,14 +51,14 @@ distinctWriters(unsigned count, Bytes bytes = 1024)
 TEST(Frontend, TrsStorageFullyRecycled)
 {
     TaskTrace trace = genCholeskyBlocked(8, 4096, 1);
-    Pipeline pipe(tinyConfig(), trace);
-    RunResult result = pipe.run(100'000'000);
+    auto pipe = SystemBuilder(tinyConfig(), trace).build();
+    RunResult result = pipe->run(100'000'000);
     EXPECT_EQ(result.numTasks, trace.size());
     // Every block must be back on the free lists.
-    for (unsigned i = 0; i < pipe.config().numTrs; ++i) {
-        EXPECT_EQ(pipe.trs(i).freeBlocks(),
-                  pipe.config().blocksPerTrs());
-        EXPECT_EQ(pipe.trs(i).liveSlots(), 0u);
+    for (unsigned i = 0; i < pipe->config().numTrs; ++i) {
+        EXPECT_EQ(pipe->trs(i).freeBlocks(),
+                  pipe->config().blocksPerTrs());
+        EXPECT_EQ(pipe->trs(i).liveSlots(), 0u);
     }
 }
 
@@ -66,13 +66,13 @@ TEST(Frontend, OvtVersionsFullyReleased)
 {
     TaskTrace trace = genCholeskyBlocked(8, 4096, 1);
     PipelineConfig cfg = tinyConfig();
-    Pipeline pipe(cfg, trace);
-    pipe.run(100'000'000);
+    auto pipe = SystemBuilder(cfg, trace).build();
+    pipe->run(100'000'000);
     // With eager write-back every version retires once drained.
     for (unsigned i = 0; i < cfg.numOrt; ++i) {
-        EXPECT_EQ(pipe.ovt(i).liveVersions(), 0u);
-        EXPECT_EQ(pipe.ovt(i).liveRenameBuffers(), 0u);
-        EXPECT_EQ(pipe.ort(i).freeVersionSlots(),
+        EXPECT_EQ(pipe->ovt(i).liveVersions(), 0u);
+        EXPECT_EQ(pipe->ovt(i).liveRenameBuffers(), 0u);
+        EXPECT_EQ(pipe->ort(i).freeVersionSlots(),
                   cfg.slotsPerOvt());
     }
 }
@@ -85,10 +85,10 @@ TEST(Frontend, OrtCapacityStallsThenRecovers)
     cfg.ortTotalBytes = 2 * 1024;  // 128 entries
     cfg.ovtTotalBytes = 2 * 1024;
     TaskTrace trace = distinctWriters(2000);
-    Pipeline pipe(cfg, trace);
-    RunResult result = pipe.run(500'000'000);
+    auto pipe = SystemBuilder(cfg, trace).build();
+    RunResult result = pipe->run(500'000'000);
     EXPECT_EQ(result.numTasks, 2000u);
-    EXPECT_GT(pipe.frontendStats().gatewayStallEvents.value(), 0u);
+    EXPECT_GT(pipe->frontendStats().gatewayStallEvents.value(), 0u);
     EXPECT_GT(result.gatewayStallCycles, 0u);
 }
 
@@ -97,8 +97,8 @@ TEST(Frontend, TrsCapacityBoundsWindow)
     PipelineConfig cfg = tinyConfig();
     cfg.trsTotalBytes = 16 * 1024; // 2 TRS x 64 blocks
     TaskTrace trace = distinctWriters(1000);
-    Pipeline pipe(cfg, trace);
-    RunResult result = pipe.run(500'000'000);
+    auto pipe = SystemBuilder(cfg, trace).build();
+    RunResult result = pipe->run(500'000'000);
     EXPECT_EQ(result.numTasks, 1000u);
     // The in-flight window can never exceed the block capacity.
     EXPECT_LE(result.peakTasksInFlight, 128.0);
@@ -108,8 +108,8 @@ TEST(Frontend, TrsCapacityBoundsWindow)
 RunResult
 runOnce(const PipelineConfig &cfg, const TaskTrace &trace)
 {
-    Pipeline pipe(cfg, trace);
-    return pipe.run(500'000'000);
+    auto pipe = SystemBuilder(cfg, trace).build();
+    return pipe->run(500'000'000);
 }
 
 TEST(Frontend, RenamingAblationSerializesWaw)
@@ -144,13 +144,13 @@ TEST(Frontend, ChainingAblationStillCorrect)
     TaskTrace trace = genCholeskyBlocked(8, 4096, 1);
     PipelineConfig cfg = tinyConfig();
     cfg.consumerChaining = false;
-    Pipeline pipe(cfg, trace);
-    RunResult result = pipe.run(200'000'000);
+    auto pipe = SystemBuilder(cfg, trace).build();
+    RunResult result = pipe->run(200'000'000);
     EXPECT_EQ(result.numTasks, trace.size());
     DepGraph graph = DepGraph::build(trace, Semantics::Renamed);
     EXPECT_TRUE(graph.isTopologicalOrder(result.startOrder));
     // Without chaining no TRS-to-TRS forwarding happens.
-    EXPECT_EQ(pipe.frontendStats().dataReadyForwards.value(), 0u);
+    EXPECT_EQ(pipe->frontendStats().dataReadyForwards.value(), 0u);
 }
 
 TEST(Frontend, ChainingForwardsReadyMessages)
@@ -167,12 +167,12 @@ TEST(Frontend, ChainingForwardsReadyMessages)
         b.commit();
     }
     PipelineConfig cfg = tinyConfig();
-    Pipeline pipe(cfg, trace);
-    RunResult result = pipe.run(100'000'000);
+    auto pipe = SystemBuilder(cfg, trace).build();
+    RunResult result = pipe->run(100'000'000);
     EXPECT_EQ(result.numTasks, 11u);
     // 10 readers: reader k>0 chains on reader k-1 (9 forwards; the
     // first gets its ready from the producer's task-finish walk).
-    EXPECT_GE(pipe.frontendStats().dataReadyForwards.value(), 9u);
+    EXPECT_GE(pipe->frontendStats().dataReadyForwards.value(), 9u);
     EXPECT_GE(result.chainMax, 9.0);
 }
 
@@ -198,8 +198,8 @@ TEST(Frontend, TombstoneRegistrationAnswered)
     b.commit();
 
     PipelineConfig cfg = tinyConfig();
-    Pipeline pipe(cfg, trace);
-    RunResult result = pipe.run(200'000'000);
+    auto pipe = SystemBuilder(cfg, trace).build();
+    RunResult result = pipe->run(200'000'000);
     EXPECT_EQ(result.numTasks, 202u);
 }
 
@@ -211,8 +211,8 @@ TEST(Frontend, GatewayBufferThrottlesSource)
     cfg.numCores = 1;
     cfg.trsTotalBytes = 8 * 1024; // minimal window
     TaskTrace trace = distinctWriters(500, 256);
-    Pipeline pipe(cfg, trace);
-    RunResult result = pipe.run(2'000'000'000);
+    auto pipe = SystemBuilder(cfg, trace).build();
+    RunResult result = pipe->run(2'000'000'000);
     EXPECT_EQ(result.numTasks, 500u);
     EXPECT_GT(result.sourceStallCycles, 0u);
 }
@@ -228,8 +228,8 @@ TEST(Frontend, ScalarOperandsBypassOrts)
         b.commit();
     }
     PipelineConfig cfg = tinyConfig();
-    Pipeline pipe(cfg, trace);
-    RunResult result = pipe.run(100'000'000);
+    auto pipe = SystemBuilder(cfg, trace).build();
+    RunResult result = pipe->run(100'000'000);
     EXPECT_EQ(result.numTasks, 50u);
     // No memory operands: no versions at all.
     EXPECT_EQ(result.versionsCreated, 0u);
@@ -242,8 +242,8 @@ TEST(Frontend, DmaWritebackForRenamedFinals)
     // Renamed outputs that are never superseded must be copied back.
     TaskTrace trace = distinctWriters(100, 4096);
     PipelineConfig cfg = tinyConfig();
-    Pipeline pipe(cfg, trace);
-    RunResult result = pipe.run(100'000'000);
+    auto pipe = SystemBuilder(cfg, trace).build();
+    RunResult result = pipe->run(100'000'000);
     EXPECT_EQ(result.versionsRenamed, 100u);
     EXPECT_EQ(result.dmaWritebacks, 100u);
 }
@@ -264,9 +264,9 @@ TEST(Frontend, InoutNeedsTwoReadyMessages)
     b.commit();
 
     PipelineConfig cfg = tinyConfig();
-    Pipeline pipe(cfg, trace);
-    RunResult result = pipe.run(100'000'000);
-    const auto &records = pipe.taskRegistry().allRecords();
+    auto pipe = SystemBuilder(cfg, trace).build();
+    RunResult result = pipe->run(100'000'000);
+    const auto &records = pipe->taskRegistry().allRecords();
     // The inout may only start after the reader finished.
     EXPECT_GE(records[2].started, records[1].finished);
     EXPECT_GE(records[1].started, records[0].finished);
@@ -287,8 +287,8 @@ TEST(Frontend, MaxOperandTasksUseIndirectBlocks)
         b.commit();
     }
     PipelineConfig cfg = tinyConfig();
-    Pipeline pipe(cfg, trace);
-    RunResult result = pipe.run(100'000'000);
+    auto pipe = SystemBuilder(cfg, trace).build();
+    RunResult result = pipe->run(100'000'000);
     EXPECT_EQ(result.numTasks, 20u);
     // 19 operands => 4 blocks => fragmentation is positive.
     EXPECT_GT(result.avgFragmentation, 0.0);

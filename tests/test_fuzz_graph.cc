@@ -20,7 +20,6 @@
 #include <string>
 #include <vector>
 
-#include "core/pipeline.hh"
 #include "core/system.hh"
 #include "graph/dep_graph.hh"
 #include "ovt_bound.hh"
@@ -178,8 +177,8 @@ TEST(FuzzGraph, PipelineOrdersAreTopologicalAndExecutionIsExact)
         FuzzProgram simulated(seed);
         Rng cfg_rng(seed * 977);
         PipelineConfig cfg = randomConfig(cfg_rng);
-        Pipeline pipeline(cfg, simulated.context().trace());
-        RunResult decision = pipeline.run();
+        auto pipeline = SystemBuilder(cfg, simulated.context().trace()).build();
+        RunResult decision = pipeline->run();
 
         DepGraph renamed = DepGraph::build(
             simulated.context().trace(), Semantics::Renamed);

@@ -8,7 +8,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/pipeline.hh"
+#include "core/system.hh"
 #include "graph/dep_graph.hh"
 #include "workload/address_space.hh"
 #include "workload/builder.hh"
@@ -95,8 +95,9 @@ TEST(MultiThread, TwoThreadsCompleteCorrectly)
     cfg.ortTotalBytes = 128 * 1024;
     cfg.ovtTotalBytes = 128 * 1024;
 
-    Pipeline pipe(cfg, merged, thread_of);
-    RunResult result = pipe.run(1'000'000'000);
+    auto pipe =
+        SystemBuilder(cfg, merged).threads(thread_of).build();
+    RunResult result = pipe->run(1'000'000'000);
     EXPECT_EQ(result.numTasks, merged.size());
 
     DepGraph graph = DepGraph::build(merged, Semantics::Renamed);
@@ -119,11 +120,12 @@ TEST(MultiThread, RelievesGenerationBottleneck)
     cfg.numOrt = 4;
     cfg.gatewayBufferTasks = 40;
 
-    Pipeline single(cfg, merged);
-    Cycle makespan_single = single.run(2'000'000'000).makespan;
+    auto single = SystemBuilder(cfg, merged).build();
+    Cycle makespan_single = single->run(2'000'000'000).makespan;
 
-    Pipeline multi(cfg, merged, thread_of);
-    Cycle makespan_multi = multi.run(2'000'000'000).makespan;
+    auto multi =
+        SystemBuilder(cfg, merged).threads(thread_of).build();
+    Cycle makespan_multi = multi->run(2'000'000'000).makespan;
 
     // Four threads remove the generation serialization (104 cy/task
     // for one-operand tasks); the pipeline is then bound by the next
@@ -154,8 +156,9 @@ TEST(MultiThread, ThreadsProgressIndependently)
     auto [merged, thread_of] = interleave({chain, flat});
     PipelineConfig cfg;
     cfg.numCores = 16;
-    Pipeline pipe(cfg, merged, thread_of);
-    RunResult result = pipe.run(2'000'000'000);
+    auto pipe =
+        SystemBuilder(cfg, merged).threads(thread_of).build();
+    RunResult result = pipe->run(2'000'000'000);
     // Serial chain dominates the makespan; the flat thread's tasks
     // all fit inside it, so makespan ~ chain length, and the whole
     // run must beat fully-serial execution of both threads.

@@ -8,7 +8,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/pipeline.hh"
+#include "core/system.hh"
 #include "graph/dep_graph.hh"
 #include "driver/experiment.hh"
 #include "swruntime/sw_runtime.hh"

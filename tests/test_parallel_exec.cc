@@ -14,7 +14,7 @@
 #include <string>
 #include <vector>
 
-#include "core/pipeline.hh"
+#include "core/system.hh"
 #include "runtime/functional_exec.hh"
 #include "runtime/parallel_exec.hh"
 #include "workload/starss_programs.hh"
@@ -83,8 +83,8 @@ TEST_P(RealWorkloads, ReplayModeMatchesSequentialBitForBit)
             auto program = info().make(seed);
             PipelineConfig cfg;
             cfg.numCores = cores;
-            Pipeline pipeline(cfg, program->context().trace());
-            RunResult decision = pipeline.run();
+            auto pipeline = SystemBuilder(cfg, program->context().trace()).build();
+            RunResult decision = pipeline->run();
 
             ParallelExecutor exec(program->context());
             starss::ParallelRunStats stats = exec.runReplay(decision);
@@ -162,8 +162,8 @@ TEST(ReplayContract, SchedulingDecisionIsDeterministic)
 
     PipelineConfig cfg;
     cfg.numCores = 4;
-    RunResult first = Pipeline(cfg, trace).run();
-    RunResult second = Pipeline(cfg, trace).run();
+    RunResult first = SystemBuilder(cfg, trace).build()->run();
+    RunResult second = SystemBuilder(cfg, trace).build()->run();
 
     EXPECT_EQ(first.startOrder, second.startOrder);
     EXPECT_EQ(first.coreOf, second.coreOf);
@@ -177,7 +177,7 @@ TEST(ReplayContract, CoreAssignmentCoversEveryTask)
     PipelineConfig cfg;
     cfg.numCores = 3;
     RunResult result =
-        Pipeline(cfg, program->context().trace()).run();
+        SystemBuilder(cfg, program->context().trace()).build()->run();
     ASSERT_EQ(result.coreOf.size(), program->context().numTasks());
     for (unsigned core : result.coreOf)
         EXPECT_LT(core, cfg.numCores);

@@ -8,7 +8,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/pipeline.hh"
+#include "core/system.hh"
 #include "graph/dep_graph.hh"
 #include "sim/random.hh"
 #include "swruntime/sw_runtime.hh"
@@ -97,12 +97,12 @@ TEST_P(PipelineProperty, CompletesCorrectlyWithoutLeaks)
     cfg.consumerChaining = pc.chaining;
     cfg.renameOutputs = pc.rename;
 
-    Pipeline pipe(cfg, trace);
-    RunResult result = pipe.run(2'000'000'000);
+    auto pipe = SystemBuilder(cfg, trace).build();
+    RunResult result = pipe->run(2'000'000'000);
 
     // (a) completion.
     ASSERT_EQ(result.numTasks, trace.size());
-    ASSERT_EQ(pipe.frontendStats().tasksFinished.value(),
+    ASSERT_EQ(pipe->frontendStats().tasksFinished.value(),
               trace.size());
 
     // (b) schedule validity. Without renaming the pipeline enforces
@@ -117,13 +117,13 @@ TEST_P(PipelineProperty, CompletesCorrectlyWithoutLeaks)
 
     // (c) no leaks: blocks, slots, versions, rename buffers.
     for (unsigned i = 0; i < cfg.numTrs; ++i) {
-        EXPECT_EQ(pipe.trs(i).freeBlocks(), cfg.blocksPerTrs());
-        EXPECT_EQ(pipe.trs(i).liveSlots(), 0u);
+        EXPECT_EQ(pipe->trs(i).freeBlocks(), cfg.blocksPerTrs());
+        EXPECT_EQ(pipe->trs(i).liveSlots(), 0u);
     }
     for (unsigned i = 0; i < cfg.numOrt; ++i) {
-        EXPECT_EQ(pipe.ovt(i).liveVersions(), 0u);
-        EXPECT_EQ(pipe.ovt(i).liveRenameBuffers(), 0u);
-        EXPECT_EQ(pipe.ort(i).freeVersionSlots(), cfg.slotsPerOvt());
+        EXPECT_EQ(pipe->ovt(i).liveVersions(), 0u);
+        EXPECT_EQ(pipe->ovt(i).liveRenameBuffers(), 0u);
+        EXPECT_EQ(pipe->ort(i).freeVersionSlots(), cfg.slotsPerOvt());
     }
 
     // (d) window bound: tasks in flight never exceed block capacity.

@@ -6,7 +6,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/pipeline.hh"
+#include "core/system.hh"
 #include "graph/dep_graph.hh"
 #include "workload/workload.hh"
 
@@ -33,8 +33,8 @@ TEST(PipelineSmoke, Cholesky5x5RunsToCompletion)
     TaskTrace trace = genCholeskyBlocked(5, 16 * 1024, 1);
     ASSERT_EQ(trace.size(), 35u); // the paper's Figure 1 graph
 
-    Pipeline pipe(smallConfig(), trace);
-    RunResult result = pipe.run(50'000'000);
+    auto pipe = SystemBuilder(smallConfig(), trace).build();
+    RunResult result = pipe->run(50'000'000);
 
     EXPECT_EQ(result.numTasks, 35u);
     EXPECT_GT(result.makespan, 0u);
@@ -56,8 +56,8 @@ TEST(PipelineSmoke, SingleTask)
     t.operands.push_back({Dir::Out, 0x2000, 64});
     trace.tasks.push_back(t);
 
-    Pipeline pipe(smallConfig(4), trace);
-    RunResult result = pipe.run(1'000'000);
+    auto pipe = SystemBuilder(smallConfig(4), trace).build();
+    RunResult result = pipe->run(1'000'000);
     EXPECT_EQ(result.numTasks, 1u);
     EXPECT_GE(result.makespan, 1000u);
 }
@@ -76,8 +76,8 @@ TEST(PipelineSmoke, ChainOfInouts)
         trace.tasks.push_back(t);
     }
 
-    Pipeline pipe(smallConfig(8), trace);
-    RunResult result = pipe.run(10'000'000);
+    auto pipe = SystemBuilder(smallConfig(8), trace).build();
+    RunResult result = pipe->run(10'000'000);
     EXPECT_GE(result.makespan, 20u * 500u);
     EXPECT_LT(result.speedup, 1.2);
 
@@ -99,8 +99,8 @@ TEST(PipelineSmoke, IndependentTasksRunInParallel)
         trace.tasks.push_back(t);
     }
 
-    Pipeline pipe(smallConfig(32), trace);
-    RunResult result = pipe.run(50'000'000);
+    auto pipe = SystemBuilder(smallConfig(32), trace).build();
+    RunResult result = pipe->run(50'000'000);
     EXPECT_GT(result.speedup, 10.0);
 }
 
@@ -124,8 +124,8 @@ TEST(PipelineSmoke, RenamingBreaksWawAndWar)
         trace.tasks.push_back(r);
     }
 
-    Pipeline pipe(smallConfig(64), trace);
-    RunResult result = pipe.run(100'000'000);
+    auto pipe = SystemBuilder(smallConfig(64), trace).build();
+    RunResult result = pipe->run(100'000'000);
     // Sequential would be 32 tasks; renamed dataflow allows all 16
     // writer->reader pairs in parallel: speedup must exceed 8.
     EXPECT_GT(result.speedup, 8.0);

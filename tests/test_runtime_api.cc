@@ -12,7 +12,7 @@
 #include <numeric>
 #include <vector>
 
-#include "core/pipeline.hh"
+#include "core/system.hh"
 #include "graph/dep_graph.hh"
 #include "runtime/functional_exec.hh"
 #include "runtime/starss.hh"
@@ -202,8 +202,8 @@ TEST(FunctionalExecutor, PipelineScheduleMatchesSequential)
     cfg.trsTotalBytes = 256 * 1024;
     cfg.ortTotalBytes = 64 * 1024;
     cfg.ovtTotalBytes = 64 * 1024;
-    Pipeline pipe(cfg, ctx.trace());
-    RunResult result = pipe.run(500'000'000);
+    auto pipe = SystemBuilder(cfg, ctx.trace()).build();
+    RunResult result = pipe->run(500'000'000);
 
     FunctionalExecutor exec(ctx);
     std::size_t versions = exec.execute(result.startOrder);

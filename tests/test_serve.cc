@@ -1,0 +1,366 @@
+/**
+ * @file
+ * tss-serve tests: disjoint per-tenant address-space carving,
+ * backpressure under saturating load, graceful drain completing every
+ * admitted job (the ctest TIMEOUT is the watchdog — a drain that
+ * hangs fails the suite), the framed socket protocol end-to-end, and
+ * the Session lifecycle contract.
+ */
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "runtime/parallel_exec.hh"
+#include "runtime/session.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+#include "serve/service.hh"
+#include "workload/address_space.hh"
+#include "workload/builder.hh"
+
+namespace tss::serve
+{
+namespace
+{
+
+/** A dependency chain: task i reads object i-1 and writes object i. */
+TaskTrace
+chainProgram(unsigned tasks, std::uint64_t base, Cycle runtime = 400)
+{
+    TaskTrace trace;
+    trace.name = "chain";
+    auto kernel = trace.addKernel("link");
+    TaskBuilder b(trace);
+    AddressSpace mem(base);
+    std::vector<std::uint64_t> objs;
+    for (unsigned i = 0; i <= tasks; ++i)
+        objs.push_back(mem.alloc(256));
+    for (unsigned i = 0; i < tasks; ++i) {
+        b.begin(kernel, runtime)
+            .in(objs[i], 256)
+            .out(objs[i + 1], 256);
+        b.commit();
+    }
+    return trace;
+}
+
+ServeConfig
+tinyServeConfig()
+{
+    ServeConfig cfg;
+    cfg.machine.numCores = 8;
+    cfg.machine.trsTotalBytes = 256 * 1024;
+    cfg.machine.ortTotalBytes = 128 * 1024;
+    cfg.machine.ovtTotalBytes = 128 * 1024;
+    cfg.carveBytes = 1 << 20;
+    return cfg;
+}
+
+const TenantReport &
+tenantOf(const ServiceReport &report, TenantId id)
+{
+    for (const auto &t : report.tenants)
+        if (t.id == id)
+            return t;
+    ADD_FAILURE() << "tenant " << id << " missing from report";
+    return report.tenants.front();
+}
+
+TEST(Serve, TenantCarvesAreDisjoint)
+{
+    TraceService service(tinyServeConfig());
+    TenantId a = service.openTenant("a");
+    TenantId b = service.openTenant("b");
+    TenantId c = service.openTenant("c");
+
+    for (TenantId t : {a, b, c})
+        EXPECT_LT(service.carveBaseOf(t), service.carveEndOf(t));
+    EXPECT_LE(service.carveEndOf(a), service.carveBaseOf(b));
+    EXPECT_LE(service.carveEndOf(b), service.carveBaseOf(c));
+
+    // A session sealed at a tenant's carve base keeps every
+    // relocated region inside the carve — the admit-stage invariant.
+    Session session = Session::forTrace("carved");
+    session.submitTrace(chainProgram(64, 0x7000'0000));
+    RelocationOptions opts;
+    opts.targetBase = service.carveBaseOf(b);
+    session.seal(opts);
+    for (const RelocatedRegion &r : session.relocationMap()->regions()) {
+        EXPECT_GE(r.targetBase, service.carveBaseOf(b));
+        EXPECT_LE(r.targetBase + r.bytes, service.carveEndOf(b));
+    }
+}
+
+TEST(Serve, CompletesConcurrentTenantJobs)
+{
+    TraceService service(tinyServeConfig());
+    TenantId a = service.openTenant("alpha");
+    TenantId b = service.openTenant("beta");
+
+    // Both tenants submit the same program; distinct carves mean the
+    // simulated directories never alias even while jobs execute
+    // concurrently.
+    unsigned accepted_a = 0, accepted_b = 0;
+    for (unsigned i = 0; i < 6; ++i) {
+        while (service.submit(a, chainProgram(40, 0x5000'0000))
+                   .status != SubmitStatus::Accepted)
+            ;
+        ++accepted_a;
+        while (service.submit(b, chainProgram(40, 0x5000'0000))
+                   .status != SubmitStatus::Accepted)
+            ;
+        ++accepted_b;
+    }
+    service.waitIdle();
+
+    ServiceReport report = service.report();
+    EXPECT_EQ(tenantOf(report, a).completed, accepted_a);
+    EXPECT_EQ(tenantOf(report, b).completed, accepted_b);
+    EXPECT_EQ(tenantOf(report, a).simulatedTasks, 40u * accepted_a);
+    EXPECT_EQ(tenantOf(report, a).simMakespanCycles.count, accepted_a);
+    EXPECT_GT(tenantOf(report, a).simMakespanCycles.p50, 0);
+
+    // Same program, same carve → the same deterministic makespan on
+    // every submission, so p50 == p99 == max.
+    const PercentileSummary &s = tenantOf(report, a).simMakespanCycles;
+    EXPECT_EQ(s.p50, s.p99);
+    EXPECT_EQ(s.p50, s.max);
+}
+
+TEST(Serve, BackpressureEngagesUnderOpenLoopLoad)
+{
+    ServeConfig cfg = tinyServeConfig();
+    cfg.admitCapacity = 1;
+    cfg.stageCapacity = 1;
+    cfg.parseWorkers = 1;
+    cfg.admitWorkers = 1;
+    cfg.executeWorkers = 1;
+    TraceService service(cfg);
+    TenantId tenant = service.openTenant("firehose");
+
+    // Open loop: fire submissions with no retry, far faster than one
+    // execute worker can simulate 800-task programs. The bounded
+    // stages must bounce some of them instead of buffering all.
+    TaskTrace program = chainProgram(800, 0x5000'0000);
+    unsigned accepted = 0, busy = 0;
+    for (unsigned i = 0; i < 64; ++i) {
+        SubmitResult r = service.submit(tenant, program);
+        if (r.status == SubmitStatus::Accepted)
+            ++accepted;
+        else if (r.status == SubmitStatus::Busy)
+            ++busy;
+    }
+    EXPECT_GT(busy, 0u);
+    EXPECT_GT(accepted, 0u);
+
+    service.waitIdle();
+    ServiceReport report = service.report();
+    EXPECT_EQ(tenantOf(report, tenant).completed, accepted);
+    EXPECT_EQ(tenantOf(report, tenant).busyRejections, busy);
+}
+
+TEST(Serve, GracefulDrainCompletesEveryAdmittedJob)
+{
+    ServeConfig cfg = tinyServeConfig();
+    cfg.admitCapacity = 16;
+    TraceService service(cfg);
+    TenantId tenant = service.openTenant("drainer");
+
+    unsigned accepted = 0;
+    for (unsigned i = 0; i < 12; ++i) {
+        while (service.submit(tenant, chainProgram(100, 0x5000'0000))
+                   .status != SubmitStatus::Accepted)
+            ;
+        ++accepted;
+    }
+    service.drain();
+
+    EXPECT_EQ(service.submit(tenant, chainProgram(4, 0x5000'0000))
+                  .status,
+              SubmitStatus::Closed);
+
+    ServiceReport report = service.report();
+    EXPECT_TRUE(report.drained);
+    EXPECT_EQ(tenantOf(report, tenant).admitted, accepted);
+    EXPECT_EQ(tenantOf(report, tenant).completed, accepted);
+    EXPECT_EQ(report.parseDepth + report.admitDepth +
+                  report.executeDepth + report.reportDepth,
+              0u);
+}
+
+TEST(Serve, MalformedSubmissionRejectedNotFatal)
+{
+    TraceService service(tinyServeConfig());
+    TenantId tenant = service.openTenant("garbled");
+    ASSERT_EQ(service.submitText(tenant, "trace x\nnot a line\n")
+                  .status,
+              SubmitStatus::Accepted);
+    service.waitIdle();
+    ServiceReport report = service.report();
+    EXPECT_EQ(tenantOf(report, tenant).rejectedParse, 1u);
+    EXPECT_EQ(tenantOf(report, tenant).completed, 0u);
+}
+
+TEST(Serve, CarveOverflowRejected)
+{
+    ServeConfig cfg = tinyServeConfig();
+    cfg.carveBytes = 4096; // room for a handful of 256 B regions
+    TraceService service(cfg);
+    TenantId tenant = service.openTenant("hog");
+    ASSERT_EQ(service.submit(tenant, chainProgram(200, 0x5000'0000))
+                  .status,
+              SubmitStatus::Accepted);
+    service.waitIdle();
+    ServiceReport report = service.report();
+    EXPECT_EQ(tenantOf(report, tenant).rejectedCarve, 1u);
+    EXPECT_EQ(tenantOf(report, tenant).completed, 0u);
+}
+
+TEST(Serve, SimMakespanIsDeterministicAcrossServices)
+{
+    auto run = [] {
+        TraceService service(tinyServeConfig());
+        TenantId a = service.openTenant("a");
+        TenantId b = service.openTenant("b");
+        for (unsigned i = 0; i < 4; ++i) {
+            while (service
+                       .submit(a, chainProgram(64, 0x5000'0000, 300))
+                       .status != SubmitStatus::Accepted)
+                ;
+            while (service
+                       .submit(b, chainProgram(32, 0x6000'0000, 500))
+                       .status != SubmitStatus::Accepted)
+                ;
+        }
+        service.drain();
+        return service.report();
+    };
+    ServiceReport first = run();
+    ServiceReport second = run();
+    for (std::size_t i = 0; i < first.tenants.size(); ++i) {
+        const PercentileSummary &x = first.tenants[i].simMakespanCycles;
+        const PercentileSummary &y =
+            second.tenants[i].simMakespanCycles;
+        EXPECT_EQ(x.p50, y.p50);
+        EXPECT_EQ(x.p95, y.p95);
+        EXPECT_EQ(x.p99, y.p99);
+        EXPECT_EQ(x.max, y.max);
+    }
+}
+
+TEST(Serve, TraceTextRoundTrips)
+{
+    TaskTrace program = chainProgram(10, 0x5000'0000);
+    TaskTrace parsed;
+    ASSERT_TRUE(parseTraceText(formatTraceText(program), parsed));
+    ASSERT_EQ(parsed.size(), program.size());
+    EXPECT_EQ(parsed.kernelNames, program.kernelNames);
+    for (std::size_t i = 0; i < parsed.size(); ++i) {
+        EXPECT_EQ(parsed.tasks[i].kernel, program.tasks[i].kernel);
+        EXPECT_EQ(parsed.tasks[i].runtime, program.tasks[i].runtime);
+        ASSERT_EQ(parsed.tasks[i].operands.size(),
+                  program.tasks[i].operands.size());
+        for (std::size_t j = 0; j < parsed.tasks[i].operands.size();
+             ++j) {
+            EXPECT_EQ(parsed.tasks[i].operands[j].addr,
+                      program.tasks[i].operands[j].addr);
+            EXPECT_EQ(parsed.tasks[i].operands[j].bytes,
+                      program.tasks[i].operands[j].bytes);
+        }
+    }
+
+    TaskTrace bad;
+    EXPECT_FALSE(parseTraceText("bogus 1 2 3\n", bad));
+    EXPECT_FALSE(parseTraceText("task 0 100 1\n", bad)); // no kernel
+}
+
+TEST(Serve, SocketEndToEnd)
+{
+    std::ostringstream path;
+    path << "/tmp/tss-serve-test-" << ::getpid() << ".sock";
+
+    ServeConfig cfg = tinyServeConfig();
+    TraceService service(cfg);
+    SocketServer server(service, path.str());
+    ASSERT_TRUE(server.start());
+
+    ServeClient alpha, beta;
+    ASSERT_TRUE(alpha.connect(path.str()));
+    ASSERT_TRUE(beta.connect(path.str()));
+
+    TenantId id_a = 0, id_b = 0;
+    std::uint64_t base_a = 0, end_a = 0, base_b = 0, end_b = 0;
+    ASSERT_TRUE(alpha.hello("alpha", id_a, base_a, end_a));
+    ASSERT_TRUE(beta.hello("beta", id_b, base_b, end_b));
+    EXPECT_NE(id_a, id_b);
+    EXPECT_LE(std::min(end_a, end_b), std::max(base_a, base_b));
+
+    TaskTrace program = chainProgram(50, 0x5000'0000);
+    unsigned accepted = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+        JobId job = 0;
+        while (alpha.submit(program, job) != SubmitStatus::Accepted)
+            ;
+        EXPECT_GT(job, 0u);
+        while (beta.submit(program, job) != SubmitStatus::Accepted)
+            ;
+        ++accepted;
+    }
+    service.waitIdle();
+
+    std::string json;
+    ASSERT_TRUE(alpha.stats(json));
+    EXPECT_NE(json.find("\"tenants\""), std::string::npos);
+    EXPECT_NE(json.find("\"sim_makespan_cycles\""), std::string::npos);
+    EXPECT_NE(json.find("\"alpha\""), std::string::npos);
+    EXPECT_NE(json.find("\"beta\""), std::string::npos);
+
+    ASSERT_TRUE(beta.shutdown());
+    server.waitShutdown();
+    server.stop();
+
+    ServiceReport report = service.report();
+    EXPECT_TRUE(report.drained);
+    EXPECT_EQ(tenantOf(report, id_a).completed, accepted);
+    EXPECT_EQ(tenantOf(report, id_b).completed, accepted);
+}
+
+TEST(SessionLifecycleDeathTest, SubmitAfterSealDies)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Session session = Session::forTrace("late");
+    session.submitTrace(chainProgram(4, 0x5000'0000));
+    session.seal();
+    EXPECT_EXIT(session.submitTask(0, 100, {}),
+                testing::ExitedWithCode(1), "after seal");
+}
+
+TEST(SessionLifecycleDeathTest, SimulateBeforeSealDies)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Session session = Session::forTrace("early");
+    session.submitTrace(chainProgram(4, 0x5000'0000));
+    PipelineConfig cfg;
+    EXPECT_EXIT((void)session.simulate(cfg),
+                testing::ExitedWithCode(1), "before seal");
+}
+
+TEST(SessionLifecycleDeathTest, TraceBackedCannotRunReal)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Session session = Session::forTrace("simonly");
+    session.submitTrace(chainProgram(4, 0x5000'0000));
+    session.seal();
+    EXPECT_EXIT((void)session.runParallel(2),
+                testing::ExitedWithCode(1),
+                "context-backed");
+}
+
+} // namespace
+} // namespace tss::serve

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -243,6 +244,46 @@ TEST(SimEngine, RelocatedRealKernelBitIdenticalAcrossSimThreads)
     expectIdentical(parallel, baseline, "relocated Cholesky");
 }
 
+TEST(SimEngine, ConcurrentSystemsAreIndependent)
+{
+    // Independent Systems simulating on different host threads (the
+    // tss-serve execute pool runs one per worker) must not perturb
+    // each other: every per-event context the engine uses — execCtx
+    // and the barrier's deferFloor — is thread-local, never
+    // process-global. Regression for a shared deferFloor, which let
+    // one engine's window end leak into another engine's delivery
+    // clamp (intermittently shifted makespans, and double version
+    // release when events landed at corrupted cycles).
+    TaskTrace trace = makeWorkload("Cholesky", 0.02, 2);
+    PipelineConfig cfg = paperConfig(32);
+    cfg.numPipelines = 2;
+
+    cfg.simThreads = 1;
+    RunResult baseline = runHardwareThreads(cfg, trace, 4);
+
+    constexpr unsigned kThreads = 6;
+    constexpr unsigned kRunsPerThread = 3;
+    std::vector<RunResult> results(kThreads * kRunsPerThread);
+    std::vector<std::thread> runners;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        runners.emplace_back([&, t] {
+            // Half the threads drain on a 2-thread engine so their
+            // barriers raise deferFloor while the others simulate.
+            PipelineConfig mine = cfg;
+            mine.simThreads = (t % 2) ? 2 : 1;
+            for (unsigned r = 0; r < kRunsPerThread; ++r)
+                results[t * kRunsPerThread + r] =
+                    runHardwareThreads(mine, trace, 4);
+        });
+    }
+    for (auto &runner : runners)
+        runner.join();
+
+    for (unsigned i = 0; i < results.size(); ++i)
+        expectIdentical(results[i], baseline,
+                        "concurrent run " + std::to_string(i));
+}
+
 TEST(SimEngine, ThreadsClampToDomainsAndOverClampIsIdentical)
 {
     // simThreads beyond the domain count clamps (numPipelines = 1 has
@@ -254,9 +295,9 @@ TEST(SimEngine, ThreadsClampToDomainsAndOverClampIsIdentical)
     cfg.simThreads = 1;
     RunResult baseline = runHardware(cfg, trace);
     cfg.simThreads = 8;
-    Pipeline pipeline(cfg, trace);
-    EXPECT_EQ(pipeline.system().simEngine().effectiveThreads(), 1u);
-    RunResult clamped = pipeline.run();
+    auto pipeline = SystemBuilder(cfg, trace).build();
+    EXPECT_EQ(pipeline->simEngine().effectiveThreads(), 1u);
+    RunResult clamped = pipeline->run();
     expectIdentical(clamped, baseline, "over-clamped threads");
 }
 

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * tss-serve: the always-on multi-tenant trace service daemon.
+ *
+ * Listens on an AF_UNIX socket, admits streaming task-program
+ * submissions from concurrent tenants, rebases every tenant's
+ * operand addresses into a disjoint carve of the synthetic address
+ * space, simulates each program on the configured task superscalar
+ * machine, and reports per-tenant latency percentiles and throughput.
+ *
+ * Runs until a client sends Shutdown; the service then drains
+ * gracefully (every accepted job completes) and the final report
+ * JSON goes to stdout.
+ *
+ * Usage:
+ *   tss-serve --socket=/tmp/tss.sock
+ *       [machine knobs: --pipes=N --trs=N --ort=N --cores=N
+ *        --sim-threads=N --topology=... --credits=N ...]
+ *       [service knobs: --gen-threads=N --admit-queue=N
+ *        --stage-queue=N --parse-workers=N --admit-workers=N
+ *        --execute-workers=N --carve-mb=N]
+ */
+
+#include <iostream>
+
+#include "driver/cli.hh"
+#include "driver/run_options.hh"
+#include "serve/server.hh"
+#include "serve/service.hh"
+
+int
+main(int argc, char **argv)
+{
+    tss::CliArgs args(argc, argv);
+    tss::RunOptions opts = tss::RunOptions::parse(args);
+
+    tss::serve::ServeConfig cfg;
+    cfg.machine.numCores = 128;
+    opts.apply(cfg.machine);
+    cfg.genThreads = opts.genThreads(1);
+    cfg.admitCapacity = static_cast<std::size_t>(
+        args.getLong("admit-queue", 8));
+    cfg.stageCapacity = static_cast<std::size_t>(
+        args.getLong("stage-queue", 8));
+    cfg.parseWorkers =
+        static_cast<unsigned>(args.getLong("parse-workers", 1));
+    cfg.admitWorkers =
+        static_cast<unsigned>(args.getLong("admit-workers", 1));
+    cfg.executeWorkers =
+        static_cast<unsigned>(args.getLong("execute-workers", 2));
+    cfg.carveBytes = static_cast<std::uint64_t>(
+                         args.getLong("carve-mb", 256)) << 20;
+
+    std::string socket_path =
+        args.get("socket", "/tmp/tss-serve.sock");
+
+    tss::serve::TraceService service(cfg);
+    tss::serve::SocketServer server(service, socket_path);
+    if (!server.start())
+        return 1;
+
+    std::cerr << "tss-serve: listening on " << socket_path << "\n";
+    server.waitShutdown();
+    server.stop();
+
+    std::cout << tss::serve::toJson(service.report());
+    std::cerr << "tss-serve: drained, exiting\n";
+    return 0;
+}
