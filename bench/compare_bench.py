@@ -79,7 +79,17 @@ Usage:
   compare_bench.py compare --kind {kernel,parallel,noc,sim,serve} \
       --baseline BASE.json --fresh FRESH.json [--tolerance 0.15]
   compare_bench.py determinism --a RUN1.json --b RUN2.json
+  compare_bench.py trace --file TRACE.json [--schema SCHEMA.json] \
+      [--diff OTHER_TRACE.json]
   compare_bench.py selftest
+
+The ``trace`` subcommand validates a flight-recorder Chrome trace
+(src/obs/trace.hh exporter) against the checked-in
+``bench/trace_schema.json`` — phase-specific required fields,
+integers-only timestamps, known categories, the ``\\n]}\\n`` splice
+suffix — and, with ``--diff``, byte-compares two traces exactly (CI
+captures the same run at ``--sim-threads`` 1 and 4 and requires the
+exported traces to be identical).
 
 ``capture-*`` runs the benchmark and writes a fresh JSON (uploaded as
 a CI artifact — use it to re-baseline by hand). ``compare`` and
@@ -551,6 +561,92 @@ def compare_serve(baseline, fresh, gate):
                    higher_is_better=False, advisory=True)
 
 
+def validate_trace(path, schema_path):
+    """Validate a flight-recorder Chrome trace JSON against the
+    checked-in schema (bench/trace_schema.json). Hand-rolled on
+    purpose: no jsonschema dependency, and the checks are stricter
+    than JSON Schema conveniently expresses (exact top-level shape,
+    integers-only timestamps, per-phase required fields)."""
+    with open(schema_path) as f:
+        schema = json.load(f)
+    with open(path) as f:
+        text = f.read()
+    errors = []
+    if not text.endswith("\n]}\n"):
+        errors.append("document does not end with '\\n]}\\n' "
+                      "(the splice contract of appendChromeEvents)")
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as err:
+        return [f"not valid JSON: {err}"]
+
+    top = schema["top_level_key"]
+    if not isinstance(doc, dict) or list(doc.keys()) != [top]:
+        errors.append(f"top level must be an object with the single "
+                      f"key '{top}'")
+        return errors
+    events = doc[top]
+    if not isinstance(events, list):
+        return [f"'{top}' is not an array"]
+
+    phases = schema["phases"]
+    categories = set(schema["categories"])
+    int_fields = schema["integer_fields"]
+    counts = {}
+    for i, ev in enumerate(events):
+        where = f"event {i}"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in phases:
+            errors.append(f"{where}: unknown phase {ph!r}")
+            continue
+        counts[ph] = counts.get(ph, 0) + 1
+        for field in phases[ph]["required"]:
+            if field not in ev:
+                errors.append(f"{where} (ph={ph}): missing '{field}'")
+        for field in int_fields:
+            if field in ev and not isinstance(ev[field], int):
+                errors.append(f"{where} (ph={ph}): '{field}' is "
+                              f"{ev[field]!r}, not an integer")
+        if "cat" in ev and ev["cat"] not in categories:
+            errors.append(f"{where}: unknown category {ev['cat']!r}")
+        if ph == "f" and ev.get("bp") != schema["flow_end_bp"]:
+            errors.append(f"{where}: flow end without bp="
+                          f"'{schema['flow_end_bp']}'")
+        if len(errors) >= 20:
+            errors.append("(stopping after 20 errors)")
+            break
+    if not errors:
+        by_phase = ", ".join(f"{ph}:{n}"
+                             for ph, n in sorted(counts.items()))
+        print(f"trace schema ok: {len(events)} events ({by_phase})")
+    return errors
+
+
+def check_trace(path, schema_path, diff_path=None):
+    """The ``trace`` subcommand: schema-validate @p path and, with
+    --diff, require the two trace files to be byte-identical (the
+    cross---sim-threads determinism gate)."""
+    errors = validate_trace(path, schema_path)
+    for err in errors:
+        print(f"  [FAIL] {path}: {err}")
+    if diff_path is not None:
+        with open(path, "rb") as f:
+            a = f.read()
+        with open(diff_path, "rb") as f:
+            b = f.read()
+        if a != b:
+            print(f"  [FAIL] {path} and {diff_path} differ "
+                  f"({len(a)} vs {len(b)} bytes)")
+            errors.append("trace byte-diff")
+        else:
+            print(f"trace determinism ok: {path} == {diff_path} "
+                  f"({len(a)} bytes)")
+    return 1 if errors else 0
+
+
 def flatten(value, prefix=""):
     """Nested dict -> {"a/b/c": leaf} for readable exact diffs."""
     if not isinstance(value, dict):
@@ -723,6 +819,57 @@ def selftest():
     except (OSError, KeyError, json.JSONDecodeError) as err:
         expect(f"pinned OVT bound readable ({err})", False)
 
+    # The trace schema validator: a well-formed exporter document
+    # passes; each corruption class is caught.
+    good_events = [
+        {"ph": "M", "pid": 0, "tid": 1, "name": "thread_name",
+         "args": {"name": "core0"}},
+        {"name": "task.start", "cat": "task", "ph": "X", "ts": 10,
+         "dur": 1, "pid": 0, "tid": 1, "args": {"a": 0, "b": 1}},
+        {"name": "task", "cat": "task", "ph": "s", "id": 0, "ts": 10,
+         "pid": 0, "tid": 1},
+        {"name": "task", "cat": "task", "ph": "f", "bp": "e", "id": 0,
+         "ts": 20, "pid": 0, "tid": 1},
+    ]
+
+    def trace_text(events):
+        body = ",\n".join(json.dumps(e) for e in events)
+        return '{"traceEvents": [\n' + body + "\n]}\n"
+
+    def trace_errors(text):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "trace.json")
+            with open(path, "w") as f:
+                f.write(text)
+            repo_dir = os.path.dirname(os.path.abspath(__file__))
+            return validate_trace(
+                path, os.path.join(repo_dir, "trace_schema.json"))
+
+    expect("good trace validates",
+           trace_errors(trace_text(good_events)) == [])
+    bad_phase = copy.deepcopy(good_events)
+    bad_phase[1]["ph"] = "Z"
+    expect("unknown phase rejected",
+           trace_errors(trace_text(bad_phase)) != [])
+    bad_cat = copy.deepcopy(good_events)
+    bad_cat[1]["cat"] = "mystery"
+    expect("unknown category rejected",
+           trace_errors(trace_text(bad_cat)) != [])
+    float_ts = copy.deepcopy(good_events)
+    float_ts[1]["ts"] = 10.5
+    expect("float timestamp rejected",
+           trace_errors(trace_text(float_ts)) != [])
+    missing = copy.deepcopy(good_events)
+    del missing[1]["dur"]
+    expect("missing required field rejected",
+           trace_errors(trace_text(missing)) != [])
+    no_bp = copy.deepcopy(good_events)
+    del no_bp[3]["bp"]
+    expect("flow end without bp rejected",
+           trace_errors(trace_text(no_bp)) != [])
+    expect("truncated document rejected",
+           trace_errors(trace_text(good_events)[:-3]) != [])
+
     # Exact determinism diff on noc captures.
     run = {"machine": machine_fingerprint(),
            "fig17_quick": {"sweep": {"ring/adjacent/solo":
@@ -775,6 +922,17 @@ def main():
     p.add_argument("--a", required=True)
     p.add_argument("--b", required=True)
 
+    p = sub.add_parser("trace")
+    p.add_argument("--file", required=True,
+                   help="Chrome trace JSON to schema-validate")
+    p.add_argument("--schema",
+                   default=os.path.join(
+                       os.path.dirname(os.path.abspath(__file__)),
+                       "trace_schema.json"))
+    p.add_argument("--diff", default=None,
+                   help="second trace that must be byte-identical "
+                        "(e.g. the same run at another --sim-threads)")
+
     sub.add_parser("selftest")
 
     args = parser.parse_args()
@@ -782,6 +940,8 @@ def main():
         return selftest()
     if args.cmd == "determinism":
         return check_determinism(args.a, args.b)
+    if args.cmd == "trace":
+        return check_trace(args.file, args.schema, args.diff)
     if args.cmd == "capture-kernel":
         capture_kernel(args.bench, args.out, args.arg)
         return 0

@@ -49,6 +49,7 @@
  * BENCH_noc.json via bench/compare_bench.py.
  *
  * Usage: fig17_noc_contention [--quick|--full] [--csv]
+ *        [--trace=off|tail|full]
  *        [--pipes=N] [--gen-threads=N] [--credits=N]
  *        [--relocate-seed=N] [--relocate-align=N] [--sim-threads=N]
  *
@@ -61,6 +62,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -169,6 +171,10 @@ main(int argc, char **argv)
     unsigned gen_threads = opts.genThreads(8);
     unsigned credits = opts.credits.value_or(1);
     unsigned sim_threads = opts.simThreads.value_or(1);
+    // --trace=off proves in CI that the default tail-mode tracer
+    // never perturbs the gated simulated cells.
+    const std::optional<tss::obs::TraceMode> trace_mode =
+        opts.traceMode;
 
     // This bench CI-gates relocated real-kernel rows, so it relocates
     // unconditionally; --relocate-seed/--relocate-align still apply.
@@ -231,6 +237,8 @@ main(int argc, char **argv)
             cfg.numPipelines = pipes;
             cfg.slicePacketCredits = credits;
             cfg.simThreads = sim_threads;
+            if (trace_mode)
+                cfg.traceMode = *trace_mode;
             cfg.nocTopology = pt.topology;
             cfg.nocPlacement = pt.placement;
             cfg.batchOperands = pt.batch;
@@ -307,6 +315,8 @@ main(int argc, char **argv)
                 cfg.numPipelines = p;
                 cfg.slicePacketCredits = credits;
                 cfg.simThreads = sim_threads;
+                if (trace_mode)
+                    cfg.traceMode = *trace_mode;
                 cfg.idealAdmission = oracle;
                 tss::RunResult r = tss::runHardwareThreads(
                     cfg, prog.trace, gen_threads);
@@ -371,6 +381,8 @@ main(int argc, char **argv)
             cfg.numPipelines = pipes;
             cfg.slicePacketCredits = credits;
             cfg.simThreads = sim_threads;
+            if (trace_mode)
+                cfg.traceMode = *trace_mode;
             tss::RunResult r =
                 tss::runHardwareThreads(cfg, trace, gen_threads);
             checkTopological(trace, r, prog.name,

@@ -14,6 +14,7 @@
 #include "core/config.hh"
 #include "core/task_registry.hh"
 #include "core/trs.hh"
+#include "obs/trace.hh"
 
 namespace tss
 {
@@ -48,6 +49,8 @@ class WorkerCore : public SimObject, public Endpoint
         TSS_ASSERT(proto->type == MsgType::DispatchTask,
                    "worker: unexpected message");
         auto &dispatch = static_cast<DispatchTaskMsg &>(*proto);
+        obs::trace(obs::TraceEvent::TaskDispatch, curCycle(),
+                   registry.traceIndex(dispatch.id), coreIndex);
         pending.push_back(dispatch.id);
         startNext();
     }
@@ -74,9 +77,14 @@ class WorkerCore : public SimObject, public Endpoint
         }
         registry.record(trace_index).started = curCycle();
         registry.record(trace_index).core = coreIndex;
+        obs::trace(obs::TraceEvent::TaskStart, curCycle(), trace_index,
+                   coreIndex);
 
-        scheduleIn(runtime, [this, id, trace_index, runtime] {
+        Cycle started = curCycle();
+        scheduleIn(runtime, [this, id, trace_index, runtime, started] {
             registry.record(trace_index).finished = curCycle();
+            obs::trace(obs::TraceEvent::TaskRetire, curCycle(),
+                       trace_index, started);
             totalBusy += runtime;
             ++executed;
 

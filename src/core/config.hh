@@ -11,6 +11,7 @@
 
 #include "mem/block_layout.hh"
 #include "noc/topology.hh"
+#include "obs/obs_config.hh"
 #include "sim/hash.hh"
 #include "sim/types.hh"
 
@@ -186,6 +187,17 @@ struct PipelineConfig
      * sim/sim_engine.hh).
      */
     unsigned simThreads = 1;
+
+    /// @name Observability (src/obs). Host-side only: no trace mode
+    /// or filter ever changes a simulated decision or statistic —
+    /// the tracer observes, it never schedules.
+    /// @{
+    obs::TraceMode traceMode = obs::TraceMode::Tail;
+    std::uint32_t traceFilter = obs::cat::all;  ///< category mask
+    unsigned traceTailRecords = 4096;  ///< bounded wedge-debug tail
+    std::string traceOutPath;    ///< Chrome JSON out (implies Full)
+    std::string metricsOutPath;  ///< metrics-snapshot JSON out
+    /// @}
 
     /** TRS storage blocks per TRS instance. The configured byte
      *  totals are machine-wide: they divide across all instances of

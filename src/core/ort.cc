@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hh"
 #include "sim/hash.hh"
 
 namespace tss
@@ -184,6 +185,8 @@ Ort::commitAdmission(const DecodeOperandMsg &msg)
     auto &waiting = it->second;
     for (std::size_t i = 0; i < waiting.size();) {
         if (admissible(waiting[i], st)) {
+            obs::trace(obs::TraceEvent::OperandUnpark, curCycle(),
+                       ortIndex, waiting[i].addr);
             sendMsg(nodeId(),
                     std::make_unique<DecodeAdmitMsg>(waiting[i]));
             waiting[i] = waiting.back();
@@ -206,6 +209,8 @@ Ort::handleDecode(DecodeOperandMsg &msg)
         deferredByAddr[msg.addr].push_back(msg);
         ++deferrals;
         ++stats.decodeDeferrals;
+        obs::trace(obs::TraceEvent::OperandTicketPark, curCycle(),
+                   ortIndex, msg.addr);
         // The park costs a tag probe — unless the ideal-admission
         // oracle is measuring what that protocol cost buys.
         if (cfg.idealAdmission)
@@ -389,6 +394,10 @@ Ort::claimSlot()
     std::uint32_t slot = freeSlots.back();
     freeSlots.pop_back();
     slotReserved[slot] = from_reserve ? 1 : 0;
+    if (from_reserve) {
+        obs::trace(obs::TraceEvent::VersionReserved, curCycle(),
+                   ortIndex, slot);
+    }
     return slot;
 }
 
@@ -398,6 +407,8 @@ Ort::parkForSlot(const DecodeOperandMsg &msg, Cycle cost)
     slotWaiters.push_back(msg);
     ++slotParks;
     ++stats.versionSlotParks;
+    obs::trace(obs::TraceEvent::OperandSlotPark, curCycle(), ortIndex,
+               msg.addr);
     if (!starveSubscribed) {
         // First starvation: subscribe to every TRS's watermark
         // advances. Each TRS acks with an immediate wakeup, so an
@@ -439,6 +450,8 @@ Ort::wakeSlotWaiters()
         --budget;
     }
     for (std::size_t i = 0; i < n; ++i) {
+        obs::trace(obs::TraceEvent::OperandUnpark, curCycle(),
+                   ortIndex, slotWaiters[i].addr);
         sendMsg(nodeId(),
                 std::make_unique<DecodeAdmitMsg>(slotWaiters[i]));
     }

@@ -1,5 +1,7 @@
 #include "ovt.hh"
 
+#include "obs/trace.hh"
+
 namespace tss
 {
 
@@ -72,6 +74,8 @@ Ovt::handleCreate(CreateVersionMsg &msg)
     v.epoch = msg.epoch;
     v.ortEntry = msg.ortEntry;
     ++stats.versionsCreated;
+    obs::trace(obs::TraceEvent::VersionCreate, curCycle(), ovtIndex,
+               msg.slot);
 
     Cycle cost = cfg.packetLatency + edram.write();
 
@@ -272,6 +276,8 @@ Ovt::die(std::uint32_t slot)
         buffers.release(v.buffer, v.bucketBytes);
     std::uint32_t ort_entry = v.ortEntry;
     v = Version{};
+    obs::trace(obs::TraceEvent::VersionDead, curCycle(), ovtIndex,
+               slot);
     sendMsg(ortNode,
             std::make_unique<VersionDeadMsg>(slot, ort_entry));
 }

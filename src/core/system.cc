@@ -1,9 +1,11 @@
 #include "system.hh"
 
 #include <algorithm>
+#include <fstream>
 #include <iomanip>
 #include <numeric>
 #include <ostream>
+#include <sstream>
 #include <unordered_map>
 
 namespace tss
@@ -234,7 +236,172 @@ SystemBuilder::build()
     }
     sys->sched->setWorkers(worker_nodes);
 
+    // The flight recorder: one buffer per event shard, wired into the
+    // engine so records key on the DeferKey of the emitting event (see
+    // obs/trace.hh). Track names make the Chrome export readable.
+    if (scfg.traceMode != obs::TraceMode::Off) {
+        sys->obsTracer = std::make_unique<obs::Tracer>(
+            scfg.traceMode, scfg.traceFilter, pipes,
+            scfg.traceTailRecords);
+        obs::Tracer &tr = *sys->obsTracer;
+        engine.setTracer(&tr);
+        for (unsigned p = 0; p < pipes; ++p) {
+            std::string suffix =
+                pipes > 1 ? "p" + std::to_string(p) : "";
+            tr.setTrackName(0, gw_nodes[p], "gateway" + suffix);
+        }
+        for (std::size_t g = 0; g < trs_nodes.size(); ++g)
+            tr.setTrackName(0, trs_nodes[g], "trs" + std::to_string(g));
+        for (std::size_t g = 0; g < ort_nodes.size(); ++g) {
+            tr.setTrackName(0, ort_nodes[g], "ort" + std::to_string(g));
+            tr.setTrackName(0, ovt_nodes[g], "ovt" + std::to_string(g));
+        }
+        for (unsigned t = 0; t < num_threads; ++t) {
+            tr.setTrackName(0, net.coreNode(t),
+                            "source" + std::to_string(t));
+        }
+        for (unsigned c = 0; c < cfg.numCores; ++c) {
+            tr.setTrackName(0, net.coreNode(c + num_threads),
+                            "core" + std::to_string(c));
+        }
+        tr.setTrackName(0, sched_node, "scheduler");
+        tr.setTrackName(1, 0, "engine");
+        tr.setTrackName(1, 1, "noc lanes");
+    }
+    sys->buildMetrics();
+
     return sys;
+}
+
+void
+System::buildMetrics()
+{
+    auto counter = [this](const std::string &name, const Counter &c) {
+        metrics.addCounter(name, [&c] { return c.value(); });
+    };
+
+    counter("frontend.tasks_allocated", stats.tasksAllocated);
+    counter("frontend.tasks_finished", stats.tasksFinished);
+    counter("frontend.data_ready_forwards", stats.dataReadyForwards);
+    counter("frontend.tombstone_replies", stats.tombstoneReplies);
+    counter("frontend.gateway_stall_events", stats.gatewayStallEvents);
+    counter("frontend.decode_deferrals", stats.decodeDeferrals);
+    counter("frontend.version_slot_parks", stats.versionSlotParks);
+    counter("frontend.decode_batches", stats.decodeBatches);
+    counter("frontend.batched_operands", stats.batchedOperands);
+    counter("frontend.versions_created", stats.versionsCreated);
+    counter("frontend.versions_renamed", stats.versionsRenamed);
+    counter("frontend.dma_writebacks", stats.dmaWritebacks);
+    metrics.bindCounter("frontend.gateway_stall_cycles",
+                        stats.gatewayStallCycles);
+    metrics.bindCounter("frontend.source_stall_cycles",
+                        stats.sourceStallCycles);
+    metrics.addGauge("frontend.chain_consumers_mean",
+                     [this] { return stats.chainConsumers.mean(); });
+    metrics.addGauge("frontend.chain_consumers_p95", [this] {
+        return stats.chainConsumers.percentile(95);
+    });
+    metrics.addGauge("frontend.chain_consumers_max",
+                     [this] { return stats.chainConsumers.max(); });
+    metrics.addGauge("frontend.fragmentation_mean",
+                     [this] { return stats.fragmentation.mean(); });
+    metrics.addGauge("frontend.decode_latency_mean",
+                     [this] { return stats.decodeLatency.mean(); });
+    metrics.addGauge("frontend.batch_fill_mean",
+                     [this] { return stats.batchFill.mean(); });
+    metrics.addGauge("frontend.tasks_in_flight_avg", [this] {
+        return stats.tasksInFlight.average(engine->now());
+    });
+    metrics.addGauge("frontend.tasks_in_flight_peak",
+                     [this] { return stats.tasksInFlight.maximum(); });
+
+    for (std::size_t i = 0; i < ortModules.size(); ++i) {
+        std::string base = "slice." + std::to_string(i) + ".";
+        const Ort *ort = ortModules[i].get();
+        const Ovt *ovt = ovtModules[i].get();
+        metrics.addCounter(base + "stall_events",
+                           [ort] { return ort->stallEvents(); });
+        metrics.addCounter(base + "deferred_ops",
+                           [ort] { return ort->deferredOps(); });
+        metrics.addCounter(base + "slot_park_events",
+                           [ort] { return ort->slotParkEvents(); });
+        metrics.addGauge(base + "free_version_slots", [ort] {
+            return static_cast<double>(ort->freeVersionSlots());
+        });
+        metrics.addGauge(base + "slot_parked", [ort] {
+            return static_cast<double>(ort->slotParkedOperands());
+        });
+        metrics.addGauge(base + "ticket_parked", [ort] {
+            return static_cast<double>(ort->ticketParkedOperands());
+        });
+        metrics.addGauge(base + "live_versions", [ovt] {
+            return static_cast<double>(ovt->liveVersions());
+        });
+    }
+
+    auto module = [this](const FrontendModule &m) {
+        std::string base = "module." + m.name() + ".";
+        metrics.addCounter(base + "packets",
+                           [&m] { return m.packetsProcessed(); });
+        metrics.addCounter(base + "busy_cycles", [&m] {
+            return static_cast<std::uint64_t>(m.busyCycles());
+        });
+    };
+    for (const auto &trs : trsModules)
+        module(*trs);
+    for (const auto &ort : ortModules)
+        module(*ort);
+    for (const auto &ovt : ovtModules)
+        module(*ovt);
+    module(*sched);
+
+    for (std::size_t c = 0; c < workers.size(); ++c) {
+        std::string base = "core." + std::to_string(c) + ".";
+        const WorkerCore *w = workers[c].get();
+        metrics.addCounter(base + "tasks_executed",
+                           [w] { return w->tasksExecuted(); });
+        metrics.addCounter(base + "busy_cycles", [w] {
+            return static_cast<std::uint64_t>(w->busyCycles());
+        });
+    }
+
+    metrics.addCounter("noc.messages",
+                       [this] { return net->messagesSent(); });
+    metrics.addGauge("noc.latency_mean",
+                     [this] { return net->latencyStat().mean(); });
+    metrics.addGauge("noc.latency_p95", [this] {
+        return net->latencyStat().percentile(95);
+    });
+    metrics.addGauge("noc.latency_max",
+                     [this] { return net->latencyStat().max(); });
+    metrics.addCounter("noc.link_traversals", [this] {
+        return net->linkStats(engine->now()).traversals;
+    });
+    metrics.addCounter("noc.lane_wait_cycles", [this] {
+        return static_cast<std::uint64_t>(
+            net->linkStats(engine->now()).laneWaitCycles);
+    });
+    metrics.addGauge("noc.max_link_utilization", [this] {
+        return net->linkStats(engine->now()).maxUtilization;
+    });
+    metrics.addHistogram("noc.link_utilization_pct", [this] {
+        return net->utilizationHistogram(engine->now());
+    });
+
+    metrics.addCounter("engine.events_executed",
+                       [this] { return engine->executed(); });
+    metrics.addGauge("engine.now", [this] {
+        return static_cast<double>(engine->now());
+    });
+    metrics.addCounter("dma.writebacks",
+                       [this] { return dma->numTransfers(); });
+    metrics.addCounter("dma.bytes",
+                       [this] { return dma->totalBytes(); });
+    if (obsTracer) {
+        metrics.addCounter("obs.trace_records", [this] {
+            return obsTracer->totalRecords();
+        });
+    }
 }
 
 LivenessReport
@@ -255,7 +422,10 @@ System::runWatchdog(std::uint64_t max_events)
     report.completed = all_done && report.tasksFinished == trace.size();
     report.wedged = !report.completed && engine->empty();
 
-    if (report.wedged) {
+    // Diagnose any incomplete run, not just true deadlocks: an
+    // exhausted event budget (the serve watchdog) gets the same
+    // occupancy/culprit/tail report a wedge does.
+    if (!report.completed) {
         // Name the culprit: per-slice version-slot occupancy and the
         // machine-oldest parked operand (capacity wedges show up as a
         // full slice holding the oldest task's operand hostage).
@@ -281,8 +451,49 @@ System::runWatchdog(std::uint64_t max_events)
                 report.culpritWaitsForSlot = parked.forSlot;
             }
         }
+        if (obsTracer)
+            report.tailTraceJson = obsTracer->tailJson();
     }
     return report;
+}
+
+std::string
+LivenessReport::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"completed\": " << (completed ? "true" : "false")
+       << ",\n"
+       << "  \"wedged\": " << (wedged ? "true" : "false") << ",\n"
+       << "  \"tasks_finished\": " << tasksFinished << ",\n"
+       << "  \"events_executed\": " << eventsExecuted << ",\n"
+       << "  \"slices\": [";
+    for (std::size_t i = 0; i < slices.size(); ++i) {
+        const SliceOccupancy &occ = slices[i];
+        os << (i ? ",\n    {" : "\n    {")
+           << "\"slice\": " << occ.slice
+           << ", \"live_versions\": " << occ.liveVersions
+           << ", \"free_version_slots\": " << occ.freeVersionSlots
+           << ", \"slot_parked\": " << occ.slotParked
+           << ", \"ticket_parked\": " << occ.ticketParked << "}";
+    }
+    os << (slices.empty() ? "]" : "\n  ]") << ",\n";
+    if (hasCulprit) {
+        os << "  \"culprit\": {\"slice\": " << culpritSlice
+           << ", \"task\": " << culpritTask
+           << ", \"operand\": " << culpritOperand
+           << ", \"addr\": " << culpritAddr
+           << ", \"waits_for_slot\": "
+           << (culpritWaitsForSlot ? "true" : "false") << "},\n";
+    } else {
+        os << "  \"culprit\": null,\n";
+    }
+    if (tailTraceJson.empty())
+        os << "  \"tail_trace\": null\n";
+    else
+        os << "  \"tail_trace\": " << tailTraceJson << "\n";
+    os << "}";
+    return os.str();
 }
 
 RunResult
@@ -294,7 +505,14 @@ System::run(std::uint64_t max_events)
               "(%s)", liveness.tasksFinished, trace.size(),
               liveness.wedged ? "deadlock" : "event limit");
     }
+    RunResult result = collectResult();
+    writeObsOutputs();
+    return result;
+}
 
+RunResult
+System::collectResult()
+{
     RunResult result;
     result.numTasks = trace.size();
     result.sequential = trace.sequentialCycles();
@@ -367,6 +585,30 @@ System::run(std::uint64_t max_events)
         hits / static_cast<double>(trsModules.size());
 
     return result;
+}
+
+void
+System::writeObsOutputs()
+{
+    if (!cfg.traceOutPath.empty() && obsTracer) {
+        std::ofstream os(cfg.traceOutPath, std::ios::binary);
+        if (!os) {
+            fatal("cannot open trace output file %s",
+                  cfg.traceOutPath.c_str());
+        }
+        if (obsTracer->mode() == obs::TraceMode::Full)
+            obsTracer->exportChromeJson(os);
+        else
+            os << obsTracer->tailJson();
+    }
+    if (!cfg.metricsOutPath.empty()) {
+        std::ofstream os(cfg.metricsOutPath, std::ios::binary);
+        if (!os) {
+            fatal("cannot open metrics output file %s",
+                  cfg.metricsOutPath.c_str());
+        }
+        os << metrics.snapshot().toJson() << "\n";
+    }
 }
 
 void

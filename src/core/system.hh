@@ -29,6 +29,8 @@
 #include "core/trs.hh"
 #include "mem/dma_engine.hh"
 #include "noc/topology.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/sim_engine.hh"
 
 namespace tss
@@ -134,6 +136,19 @@ struct LivenessReport
     std::uint64_t culpritAddr = 0;      ///< object base address
     bool culpritWaitsForSlot = false;   ///< capacity- vs ticket-parked
     /// @}
+
+    /**
+     * Chrome JSON of the flight recorder's bounded tail — the last
+     * traced cycles leading up to the wedge. Empty when tracing was
+     * off or the run completed.
+     */
+    std::string tailTraceJson;
+
+    /**
+     * The report as a JSON object (tss-serve embeds it in the job
+     * report instead of killing the process on a wedged tenant).
+     */
+    std::string toJson() const;
 };
 
 /**
@@ -160,6 +175,14 @@ class System
     LivenessReport runWatchdog(std::uint64_t max_events);
 
     /**
+     * Aggregate the RunResult of a *completed* run (every task
+     * finished). run() is runWatchdog() + fatal-on-early-end +
+     * collectResult(); callers that must survive a wedge (tss-serve)
+     * use the watchdog and collect only on completion.
+     */
+    RunResult collectResult();
+
+    /**
      * Write a per-module utilization report (packets serviced, busy
      * fraction, queue depths, NoC traffic) to @p os. Call after
      * run().
@@ -184,6 +207,22 @@ class System
     TopologyNetwork &network() { return *net; }
     /// @}
 
+    /// @name Observability.
+    /// @{
+    /** The flight recorder, or null when cfg.traceMode is Off. */
+    obs::Tracer *tracer() { return obsTracer.get(); }
+
+    /** Every counter/gauge/histogram of this machine, bound once. */
+    obs::Registry &metricsRegistry() { return metrics; }
+
+    /**
+     * Write the trace (cfg.traceOutPath, Full mode) and metrics
+     * snapshot (cfg.metricsOutPath) files, if configured. run() calls
+     * this; watchdog users call it themselves after the run ends.
+     */
+    void writeObsOutputs();
+    /// @}
+
     /// @name Per-pipeline and global-index module access. TRS, ORT
     /// and OVT indices are global (the index spaces of TaskId::trs
     /// and VersionRef::ovt): pipeline p owns TRSs
@@ -204,6 +243,9 @@ class System
 
   private:
     friend class SystemBuilder;
+
+    /** Bind every metric provider (called once by the builder). */
+    void buildMetrics();
 
     System(const PipelineConfig &config, const TaskTrace &task_trace)
         : cfg(config), trace(task_trace),
@@ -231,6 +273,9 @@ class System
     std::vector<std::unique_ptr<Ort>> ortModules;
     std::vector<std::unique_ptr<Ovt>> ovtModules;
     std::vector<std::unique_ptr<WorkerCore>> workers;
+
+    std::unique_ptr<obs::Tracer> obsTracer;
+    obs::Registry metrics;
 };
 
 /**

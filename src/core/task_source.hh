@@ -22,6 +22,7 @@
 #include "core/config.hh"
 #include "core/task_registry.hh"
 #include "core/trs.hh"
+#include "obs/trace.hh"
 
 namespace tss
 {
@@ -114,6 +115,8 @@ class TaskSource : public SimObject, public Endpoint
         pending = 0;
         ++submitted;
         registry.record(index).submitted = curCycle();
+        obs::trace(obs::TraceEvent::TaskSubmit, curCycle(), index,
+                   thread);
 
         // The submit packet carries the kernel pointer and the packed
         // operand values.

@@ -1,5 +1,7 @@
 #include "trs.hh"
 
+#include "obs/trace.hh"
+
 #include <algorithm>
 
 namespace tss
@@ -102,6 +104,8 @@ Trs::handleAlloc(AllocRequestMsg &msg)
 
     registry.bind(id, msg.traceIndex);
     registry.record(id).allocated = curCycle();
+    obs::trace(obs::TraceEvent::TaskAlloc, curCycle(), msg.traceIndex,
+               static_cast<std::uint64_t>(nodeId()));
     ++stats.tasksAllocated;
     addTasksInFlight(+1.0);
     stats.fragmentation.sample(
@@ -119,6 +123,10 @@ Trs::handleAlloc(AllocRequestMsg &msg)
         stored.readySent = true;
         registry.record(id).ready = curCycle();
         registry.record(id).decodeDone = curCycle();
+        obs::trace(obs::TraceEvent::TaskDecodeDone, curCycle(),
+                   msg.traceIndex, 0);
+        obs::trace(obs::TraceEvent::TaskReady, curCycle(),
+                   msg.traceIndex);
         sendMsg(schedulerNode, std::make_unique<TaskReadyMsg>(id));
     }
     return {cost, false};
@@ -148,6 +156,8 @@ Trs::noteDecodeProgress(TaskSlot &slot)
         TaskRecord &rec = registry.record(slot.traceIndex);
         if (rec.decodeDone == invalidCycle) {
             rec.decodeDone = curCycle();
+            obs::trace(obs::TraceEvent::TaskDecodeDone, curCycle(),
+                       slot.traceIndex, slot.numOperands);
             if (rec.submitted != invalidCycle) {
                 stats.decodeLatency.sample(static_cast<double>(
                     rec.decodeDone - rec.submitted));
@@ -163,6 +173,8 @@ Trs::maybeTaskReady(TaskSlot &slot, const TaskId &id)
         return;
     slot.readySent = true;
     registry.record(slot.traceIndex).ready = curCycle();
+    obs::trace(obs::TraceEvent::TaskReady, curCycle(),
+               slot.traceIndex);
     sendMsg(schedulerNode, std::make_unique<TaskReadyMsg>(id));
 }
 

@@ -63,6 +63,23 @@ RunOptions::parse(const CliArgs &args)
     opts.relocate = args.has("relocate");
     opts.relocateSeed = parseU64(args, "relocate-seed");
     opts.relocateAlign = parseU64(args, "relocate-align");
+    std::string trace = args.get("trace", "");
+    if (!trace.empty()) {
+        if (trace != "off" && trace != "tail" && trace != "full")
+            fatal("--trace must be off, tail or full (got '%s')",
+                  trace.c_str());
+        opts.traceMode = obs::parseTraceMode(trace);
+    }
+    if (args.has("trace-filter"))
+        opts.traceFilter =
+            obs::parseTraceFilter(args.get("trace-filter", "all"));
+    opts.traceTail = parseUnsigned(args, "trace-tail", 1);
+    std::string traceOut = args.get("trace-out", "");
+    if (!traceOut.empty())
+        opts.traceOut = traceOut;
+    std::string metricsOut = args.get("metrics-out", "");
+    if (!metricsOut.empty())
+        opts.metricsOut = metricsOut;
     return opts;
 }
 
@@ -107,6 +124,21 @@ RunOptions::apply(PipelineConfig &cfg) const
         cfg.renameOutputs = false;
     if (noChaining)
         cfg.consumerChaining = false;
+    if (traceMode)
+        cfg.traceMode = *traceMode;
+    if (traceFilter)
+        cfg.traceFilter = *traceFilter;
+    if (traceTail)
+        cfg.traceTailRecords = *traceTail;
+    if (traceOut) {
+        cfg.traceOutPath = *traceOut;
+        // A requested export needs every record retained; an explicit
+        // --trace=off|tail still wins (checked at System::build).
+        if (!traceMode)
+            cfg.traceMode = obs::TraceMode::Full;
+    }
+    if (metricsOut)
+        cfg.metricsOutPath = *metricsOut;
 }
 
 void

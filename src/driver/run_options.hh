@@ -47,6 +47,9 @@ class RunOptions
      *   --cores=N  --gen-threads=N   --sim-threads=N
      *   --relocate  --relocate-seed=N  --relocate-align=N
      *   --no-rename  --no-chaining
+     *   --trace=off|tail|full  --trace-out=PATH (implies full)
+     *   --trace-filter=task,version,noc,engine,serve|all
+     *   --trace-tail=N  --metrics-out=PATH
      *
      * Unknown *values* (e.g. --topology=torus) call fatal(); flags the
      * caller's bench does not care about are simply never applied.
@@ -113,6 +116,11 @@ class RunOptions
     bool relocate = false;   ///< --relocate given
     std::optional<std::uint64_t> relocateSeed;
     std::optional<std::uint64_t> relocateAlign;
+    std::optional<obs::TraceMode> traceMode;
+    std::optional<std::uint32_t> traceFilter;
+    std::optional<unsigned> traceTail;
+    std::optional<std::string> traceOut;
+    std::optional<std::string> metricsOut;
     /// @}
 };
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "noc/message.hh"
+#include "obs/trace.hh"
 #include "sim/exec_context.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
@@ -111,6 +112,12 @@ class Network : public SimObject
 
         ++numMessages;
         latencies.sample(static_cast<double>(when - msg->sentAt));
+        obs::trace(obs::TraceEvent::NocDeliver, when,
+                   (static_cast<std::uint32_t>(
+                        static_cast<std::uint16_t>(msg->src))
+                    << 16) |
+                       static_cast<std::uint16_t>(msg->dst),
+                   when - msg->sentAt);
 
         auto it = endpoints.find(msg->dst);
         TSS_ASSERT(it != endpoints.end(),

@@ -134,6 +134,8 @@ TopologyNetwork::reserveLane(Link &link, Cycle t, Cycle ser)
     ++link.traversals;
     link.busyCycles += ser;
     link.waitCycles += begin - t;
+    if (begin > t)
+        obs::trace(obs::TraceEvent::NocLaneWait, t, 0, begin - t);
     return begin;
 }
 
@@ -200,6 +202,12 @@ TopologyNetwork::sendAt(Cycle inject, MessagePtr msg)
     ser = std::max<Cycle>(ser, 1);
 
     unsigned hop_count = 0;
+    obs::trace(obs::TraceEvent::NocSend, inject,
+               (static_cast<std::uint32_t>(
+                    static_cast<std::uint16_t>(msg->src))
+                << 16) |
+                   static_cast<std::uint16_t>(msg->dst),
+               msg->bytes);
     Cycle t = route(msg->src, msg->dst, inject, ser, hop_count);
 
     hops.sample(hop_count);
@@ -293,6 +301,48 @@ TopologyNetwork::linkTraversals() const
     return counts;
 }
 
+obs::HistogramSnapshot
+TopologyNetwork::utilizationHistogram(Cycle now) const
+{
+    constexpr unsigned buckets = 10;
+    obs::HistogramSnapshot h;
+    h.lowerBounds.resize(buckets);
+    h.counts.assign(buckets, 0);
+    for (unsigned b = 0; b < buckets; ++b)
+        h.lowerBounds[b] = b * 10;
+    for (double u : linkUtilizations(now)) {
+        auto b = static_cast<unsigned>(u * buckets);
+        h.counts[std::min(b, buckets - 1)]++;
+    }
+    return h;
+}
+
+void
+TopologyNetwork::writeStatsJson(std::ostream &os, Cycle now,
+                                int indent) const
+{
+    std::string pad(static_cast<std::size_t>(indent), ' ');
+    LinkStats agg = linkStats(now);
+    obs::HistogramSnapshot hist = utilizationHistogram(now);
+    os << pad << "{\n";
+    os << pad << "  \"links\": " << agg.links << ",\n";
+    os << pad << "  \"traversals\": " << agg.traversals << ",\n";
+    os << pad << "  \"busy_lane_cycles\": " << agg.busyLaneCycles
+       << ",\n";
+    os << pad << "  \"lane_wait_cycles\": " << agg.laneWaitCycles
+       << ",\n";
+    os << pad << "  \"max_utilization\": "
+       << obs::formatMetricValue(agg.maxUtilization) << ",\n";
+    os << pad << "  \"utilization_histogram\": {\"lower_bounds_pct\": [";
+    for (std::size_t i = 0; i < hist.lowerBounds.size(); ++i)
+        os << (i ? ", " : "") << hist.lowerBounds[i];
+    os << "], \"counts\": [";
+    for (std::size_t i = 0; i < hist.counts.size(); ++i)
+        os << (i ? ", " : "") << hist.counts[i];
+    os << "]}\n";
+    os << pad << "}";
+}
+
 void
 TopologyNetwork::dumpStats(std::ostream &os, Cycle now) const
 {
@@ -302,20 +352,17 @@ TopologyNetwork::dumpStats(std::ostream &os, Cycle now) const
        << "  lane-wait cycles: " << agg.laneWaitCycles
        << "  peak utilization: " << agg.maxUtilization << "\n";
 
-    // Per-link utilization histogram: ten 10%-wide buckets.
-    constexpr unsigned buckets = 10;
-    std::uint64_t count[buckets] = {};
-    for (double u : linkUtilizations(now)) {
-        auto b = static_cast<unsigned>(u * buckets);
-        count[std::min(b, buckets - 1)]++;
-    }
+    // Text is a formatter over the same snapshot the registry
+    // exports; the bucket bounds come from the snapshot itself.
+    obs::HistogramSnapshot hist = utilizationHistogram(now);
     os << name() << " link utilization histogram:\n";
-    for (unsigned b = 0; b < buckets; ++b) {
-        if (count[b] == 0)
+    for (std::size_t b = 0; b < hist.counts.size(); ++b) {
+        if (hist.counts[b] == 0)
             continue;
-        os << "  [" << b * 10 << "%, "
-           << (b + 1 == buckets ? 100 : (b + 1) * 10)
-           << (b + 1 == buckets ? "%]: " : "%): ") << count[b]
+        bool last = b + 1 == hist.counts.size();
+        os << "  [" << hist.lowerBounds[b] << "%, "
+           << (last ? 100 : hist.lowerBounds[b + 1])
+           << (last ? "%]: " : "%): ") << hist.counts[b]
            << " links\n";
     }
 }

@@ -32,6 +32,7 @@
 
 #include "noc/network.hh"
 #include "noc/placement.hh"
+#include "obs/metrics.hh"
 
 namespace tss
 {
@@ -139,8 +140,26 @@ class TopologyNetwork : public Network
     std::vector<std::uint64_t> linkTraversals() const;
 
     /**
+     * The per-link utilization histogram over [0, @p now]: ten
+     * 10%-wide buckets with explicit lower bounds (percent:
+     * 0, 10, ..., 90; the last bucket is closed at 100%). Every
+     * bucket is reported, including empty ones, so consumers never
+     * have to guess the binning.
+     */
+    obs::HistogramSnapshot utilizationHistogram(Cycle now) const;
+
+    /**
+     * Structured form of dumpStats(): link aggregates plus the
+     * bounded utilization histogram as a JSON object, indented by
+     * @p indent spaces per line for nesting in larger reports.
+     */
+    void writeStatsJson(std::ostream &os, Cycle now,
+                        int indent = 0) const;
+
+    /**
      * Write the per-link utilization histogram (plus traversal and
-     * backpressure aggregates) for the run ending at @p now.
+     * backpressure aggregates) for the run ending at @p now. A pure
+     * text formatter over linkStats() + utilizationHistogram().
      */
     void dumpStats(std::ostream &os, Cycle now) const;
 

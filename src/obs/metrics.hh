@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unified metrics registry. Modules *bind* named metrics once —
+ * counters, gauges, histograms — as provider callables over their
+ * existing stats fields; nothing at a call site changes and the hot
+ * path pays nothing. snapshot() polls every provider into an
+ * immutable, name-sorted Snapshot with deterministic JSON export.
+ *
+ * Naming scheme (dot-separated, lowercase):
+ *   frontend.<stat>            pipeline-wide decode statistics
+ *   slice.<n>.<stat>           per directory-slice (ORT/OVT)
+ *   module.<name>.<stat>       per SimObject station
+ *   noc.<stat> / noc.link.*    network aggregate + per-link
+ *   engine.<stat>              parallel-engine counters
+ *   scheduler.<stat>, core.<n>.<stat>, serve.<tenant>.<stat>
+ */
+
+#ifndef TSS_OBS_METRICS_HH
+#define TSS_OBS_METRICS_HH
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tss
+{
+namespace obs
+{
+
+/**
+ * A polled histogram: counts[i] holds samples in
+ * [lowerBounds[i], lowerBounds[i + 1]), the last bucket open-ended.
+ * Fixes the historical NoC utilization dump, which printed counts
+ * with no bounds at all.
+ */
+struct HistogramSnapshot
+{
+    std::vector<std::uint64_t> lowerBounds;
+    std::vector<std::uint64_t> counts;
+
+    std::uint64_t
+    totalCount() const
+    {
+        std::uint64_t n = 0;
+        for (std::uint64_t c : counts)
+            n += c;
+        return n;
+    }
+};
+
+/** Immutable poll of a Registry; name-sorted, JSON-exportable. */
+struct Snapshot
+{
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+
+    std::uint64_t counter(const std::string &name,
+                          std::uint64_t fallback = 0) const;
+    double gauge(const std::string &name, double fallback = 0.0) const;
+    bool hasCounter(const std::string &name) const;
+
+    /**
+     * Deterministic JSON: three name-sorted sections. @p indent is
+     * the number of leading spaces on every emitted line, so the
+     * object nests cleanly inside larger reports (tss-serve).
+     */
+    void writeJson(std::ostream &os, int indent = 0) const;
+    std::string toJson() const;
+};
+
+/**
+ * The registry: a named set of metric providers. Registration order
+ * is irrelevant (snapshots sort by name); duplicate names keep the
+ * latest binding.
+ */
+class Registry
+{
+  public:
+    using CounterFn = std::function<std::uint64_t()>;
+    using GaugeFn = std::function<double()>;
+    using HistogramFn = std::function<HistogramSnapshot()>;
+
+    void addCounter(const std::string &name, CounterFn fn);
+    void addGauge(const std::string &name, GaugeFn fn);
+    void addHistogram(const std::string &name, HistogramFn fn);
+
+    /** Bind a counter to a stats field by reference. */
+    template <typename T>
+    void
+    bindCounter(const std::string &name, const T &field)
+    {
+        addCounter(name, [&field]() {
+            return static_cast<std::uint64_t>(field);
+        });
+    }
+
+    std::size_t size() const;
+    Snapshot snapshot() const;
+
+  private:
+    std::map<std::string, CounterFn> counters;
+    std::map<std::string, GaugeFn> gauges;
+    std::map<std::string, HistogramFn> histograms;
+};
+
+/** JSON-format a double: integral values print as integers. */
+std::string formatMetricValue(double v);
+
+} // namespace obs
+} // namespace tss
+
+#endif // TSS_OBS_METRICS_HH

@@ -168,11 +168,10 @@ Session::relocationMap() const
     return map.get();
 }
 
-RunResult
-Session::simulate(const PipelineConfig &cfg, unsigned gen_threads,
-                  bool use_relocated) const
+std::unique_ptr<System>
+Session::buildSystem(const PipelineConfig &cfg, unsigned gen_threads,
+                     bool use_relocated) const
 {
-    requireSealed("simulate()");
     const TaskTrace &image = use_relocated ? relocated : trace();
     SystemBuilder builder(cfg, image);
     if (gen_threads > 1) {
@@ -181,7 +180,35 @@ Session::simulate(const PipelineConfig &cfg, unsigned gen_threads,
             thread_of[t] = static_cast<unsigned>(t % gen_threads);
         builder.threads(std::move(thread_of));
     }
-    return builder.build()->run();
+    return builder.build();
+}
+
+RunResult
+Session::simulate(const PipelineConfig &cfg, unsigned gen_threads,
+                  bool use_relocated) const
+{
+    requireSealed("simulate()");
+    return buildSystem(cfg, gen_threads, use_relocated)->run();
+}
+
+SimReport
+Session::simulateMonitored(const PipelineConfig &cfg,
+                           unsigned gen_threads, bool use_relocated,
+                           std::uint64_t max_events) const
+{
+    requireSealed("simulateMonitored()");
+    auto sys = buildSystem(cfg, gen_threads, use_relocated);
+    SimReport report;
+    report.liveness = sys->runWatchdog(max_events);
+    report.completed = report.liveness.completed;
+    if (report.completed)
+        report.result = sys->collectResult();
+    report.metricsJson = sys->metricsRegistry().snapshot().toJson();
+    obs::Tracer *tracer = sys->tracer();
+    if (tracer && tracer->mode() == obs::TraceMode::Full)
+        report.traceJson = tracer->chromeJson();
+    sys->writeObsOutputs();
+    return report;
 }
 
 void

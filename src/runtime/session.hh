@@ -48,6 +48,24 @@
 namespace tss
 {
 
+/**
+ * Outcome of a monitored simulation: the liveness verdict plus, on
+ * completion, the full RunResult — and the run's observability
+ * artifacts (metrics snapshot, optional Chrome trace). A wedge does
+ * not kill the process: `completed == false` with
+ * `liveness.wedged == true` carries the diagnosis (occupancy, the
+ * culprit operand, the flight-recorder tail) back to the caller —
+ * tss-serve turns this into a job report instead of dying.
+ */
+struct SimReport
+{
+    bool completed = false;
+    LivenessReport liveness;
+    RunResult result;        ///< valid only when completed
+    std::string metricsJson; ///< registry snapshot (always filled)
+    std::string traceJson;   ///< Chrome JSON when tracing was Full
+};
+
 /** One task-program submission lifecycle; see the file comment. */
 class Session
 {
@@ -140,6 +158,19 @@ class Session
                        unsigned gen_threads = 1,
                        bool use_relocated = true) const;
 
+    /**
+     * Simulate like simulate(), but survive a wedge or event-limit
+     * end: the SimReport carries the liveness verdict, metrics
+     * snapshot and (when cfg.traceMode is Full) the Chrome trace
+     * instead of fatal()ing. Configured --trace-out/--metrics-out
+     * files are still written.
+     * @param max_events Watchdog event budget.
+     */
+    SimReport simulateMonitored(
+        const PipelineConfig &cfg, unsigned gen_threads = 1,
+        bool use_relocated = true,
+        std::uint64_t max_events = ~std::uint64_t(0)) const;
+
     /** Execute sequentially in program order (context-backed). */
     void runSequential();
 
@@ -158,6 +189,9 @@ class Session
     starss::TaskContext &context();
 
   private:
+    std::unique_ptr<System> buildSystem(const PipelineConfig &cfg,
+                                        unsigned gen_threads,
+                                        bool use_relocated) const;
     void requireOpen(const char *op) const;
     void requireSealed(const char *op) const;
     void requireContext(const char *op) const;

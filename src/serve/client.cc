@@ -85,6 +85,18 @@ ServeClient::stats(std::string &json)
 }
 
 bool
+ServeClient::trace(std::string &json)
+{
+    if (fd < 0 || !writeFrame(fd, {MsgType::Trace, ""}))
+        return false;
+    Frame reply;
+    if (!readFrame(fd, reply) || reply.type != MsgType::TraceData)
+        return false;
+    json = std::move(reply.payload);
+    return true;
+}
+
+bool
 ServeClient::shutdown()
 {
     if (fd < 0 || !writeFrame(fd, {MsgType::Shutdown, ""}))

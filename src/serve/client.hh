@@ -47,6 +47,13 @@ class ServeClient
     /** Fetch the ServiceReport JSON. */
     bool stats(std::string &json);
 
+    /**
+     * Fetch the Chrome trace JSON of this tenant's most recently
+     * completed job. False when the daemon runs without --job-traces
+     * or no job of this tenant has finished yet.
+     */
+    bool trace(std::string &json);
+
     /** Ask the server to drain and exit; true once Done arrives. */
     bool shutdown();
 

@@ -14,6 +14,8 @@
  *            so captured workloads replay against the server as-is
  *   Stats    empty; asks for a StatsReport
  *   Shutdown empty; asks the server to drain and exit
+ *   Trace    empty; asks for the tenant's most recent job trace
+ *            (requires --job-traces on the daemon)
  *
  * Server -> client:
  *   HelloOk  payload = "<tenant-id> <carve-base> <carve-end>"
@@ -22,6 +24,9 @@
  *   Error    payload = human-readable reason (bad frame, bad tenant)
  *   Done     empty; drain finished (answer to Shutdown)
  *   Report   payload = ServiceReport JSON (answer to Stats)
+ *   TraceData payload = Chrome trace-event JSON of the tenant's most
+ *            recently completed job, with wall-clock serve-stage
+ *            slices spliced in (answer to Trace)
  *
  * Submissions are parsed with the *non-fatal* parser below: a
  * malformed payload turns into an Error response, never into
@@ -45,6 +50,7 @@ enum class MsgType : std::uint8_t {
     Submit = 2,
     Stats = 3,
     Shutdown = 4,
+    Trace = 5,
     // server -> client
     HelloOk = 64,
     Accepted = 65,
@@ -52,6 +58,7 @@ enum class MsgType : std::uint8_t {
     Error = 67,
     Done = 68,
     Report = 69,
+    TraceData = 70,
 };
 
 struct Frame

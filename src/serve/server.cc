@@ -122,6 +122,21 @@ SocketServer::serveConnection(int fd)
         case MsgType::Stats:
             reply = {MsgType::Report, toJson(service.report())};
             break;
+        case MsgType::Trace: {
+            if (!have_tenant) {
+                reply = {MsgType::Error, "Trace before Hello"};
+                break;
+            }
+            std::string trace = service.lastTraceJson(tenant);
+            if (trace.empty()) {
+                reply = {MsgType::Error,
+                         "no trace recorded (run the daemon with "
+                         "--job-traces and complete a job first)"};
+                break;
+            }
+            reply = {MsgType::TraceData, std::move(trace)};
+            break;
+        }
         case MsgType::Shutdown:
             service.drain();
             {

@@ -3,6 +3,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "obs/trace.hh"
 #include "runtime/session.hh"
 #include "serve/protocol.hh"
 #include "sim/logging.hh"
@@ -32,6 +33,37 @@ TraceService::~TraceService()
     drain();
 }
 
+std::int64_t
+TraceService::uptimeUs() const
+{
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - startTime)
+        .count();
+}
+
+void
+TraceService::bindTenantMetrics(Tenant &tenant)
+{
+    // Tenants are never destroyed (unique_ptrs live as long as the
+    // service), so field references stay valid. Snapshots only happen
+    // in report(), under stateMutex — the same lock every writer of
+    // these fields holds.
+    std::string base = "serve." + std::to_string(tenant.id) + ".";
+    registry.bindCounter(base + "admitted", tenant.admitted);
+    registry.bindCounter(base + "completed", tenant.completed);
+    registry.bindCounter(base + "wedged", tenant.wedged);
+    registry.bindCounter(base + "rejected_parse", tenant.rejectedParse);
+    registry.bindCounter(base + "rejected_carve", tenant.rejectedCarve);
+    registry.bindCounter(base + "busy_rejections",
+                         tenant.busyRejections);
+    registry.bindCounter(base + "simulated_tasks",
+                         tenant.simulatedTasks);
+    const LatencyRecorder &makespan = tenant.simMakespan;
+    registry.addGauge(base + "sim_makespan_p95", [&makespan] {
+        return makespan.summary().p95;
+    });
+}
+
 TenantId
 TraceService::openTenant(std::string name)
 {
@@ -43,6 +75,7 @@ TraceService::openTenant(std::string name)
     tenant->carveEnd = tenant->carveBase + cfg.carveBytes;
     if (tenant->carveEnd <= tenant->carveBase)
         fatal("tss-serve: tenant carve space exhausted");
+    bindTenantMetrics(*tenant);
     tenants.push_back(std::move(tenant));
     return tenants.back()->id;
 }
@@ -100,6 +133,7 @@ void
 TraceService::parseWorker()
 {
     while (auto job = parseQueue.pop()) {
+        std::int64_t t0 = uptimeUs();
         if (!job->parsed) {
             if (!parseTraceText(job->text, job->trace)) {
                 job->outcome = Job::Outcome::ParseError;
@@ -109,6 +143,8 @@ TraceService::parseWorker()
             job->parsed = true;
             job->text.clear();
         }
+        job->stageSlices.push_back(obs::serveStageSlice(
+            "serve.parse", 0, t0, uptimeUs() - t0, job->id));
         admitQueue.push(std::move(*job));
     }
 }
@@ -117,6 +153,7 @@ void
 TraceService::admitWorker()
 {
     while (auto job = admitQueue.pop()) {
+        std::int64_t t0 = uptimeUs();
         std::uint64_t carve_base, carve_end;
         {
             std::lock_guard<std::mutex> lock(stateMutex);
@@ -146,6 +183,8 @@ TraceService::admitWorker()
             continue;
         }
         job->session = std::move(session);
+        job->stageSlices.push_back(obs::serveStageSlice(
+            "serve.admit", 1, t0, uptimeUs() - t0, job->id));
         executeQueue.push(std::move(*job));
     }
 }
@@ -154,11 +193,27 @@ void
 TraceService::executeWorker()
 {
     while (auto job = executeQueue.pop()) {
-        RunResult result =
-            job->session->simulate(cfg.machine, cfg.genThreads);
-        job->simMakespan = result.makespan;
-        job->simTasks = result.numTasks;
+        std::int64_t t0 = uptimeUs();
+        // Each job simulates on its own machine copy; a full flight
+        // recorder rides along when job traces are requested. The
+        // monitored path survives a wedge — a deadlocked tenant
+        // program must never take the daemon down.
+        PipelineConfig machine = cfg.machine;
+        if (cfg.recordJobTraces)
+            machine.traceMode = obs::TraceMode::Full;
+        SimReport sim = job->session->simulateMonitored(
+            machine, cfg.genThreads, true, cfg.maxEventsPerJob);
+        if (sim.completed) {
+            job->simMakespan = sim.result.makespan;
+            job->simTasks = sim.result.numTasks;
+        } else {
+            job->outcome = Job::Outcome::Wedged;
+            job->wedgeJson = sim.liveness.toJson();
+        }
+        job->traceJson = std::move(sim.traceJson);
         job->session.reset();
+        job->stageSlices.push_back(obs::serveStageSlice(
+            "serve.execute", 2, t0, uptimeUs() - t0, job->id));
         reportQueue.push(std::move(*job));
     }
 }
@@ -176,6 +231,17 @@ TraceService::finishJob(Job job)
     double wall = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - job.admitTime)
                       .count();
+    // Splice the wall-clock serve-stage slices (pid 2) into the job's
+    // simulation trace so one Perfetto view shows both time bases.
+    if (!job.traceJson.empty() && !job.stageSlices.empty()) {
+        std::string events;
+        for (std::size_t i = 0; i < job.stageSlices.size(); ++i) {
+            if (i)
+                events += ",\n";
+            events += job.stageSlices[i];
+        }
+        obs::appendChromeEvents(job.traceJson, events);
+    }
     {
         std::lock_guard<std::mutex> lock(stateMutex);
         Tenant &tenant = *tenants[job.tenant];
@@ -192,7 +258,13 @@ TraceService::finishJob(Job job)
         case Job::Outcome::CarveOverflow:
             ++tenant.rejectedCarve;
             break;
+        case Job::Outcome::Wedged:
+            ++tenant.wedged;
+            tenant.lastWedgeJson = std::move(job.wedgeJson);
+            break;
         }
+        if (!job.traceJson.empty())
+            tenant.lastTraceJson = std::move(job.traceJson);
         tenant.wallLatency.record(wall);
         ++jobsRetired;
     }
@@ -259,6 +331,8 @@ TraceService::report() const
         tr.carveEnd = tenant->carveEnd;
         tr.admitted = tenant->admitted;
         tr.completed = tenant->completed;
+        tr.wedged = tenant->wedged;
+        tr.lastWedgeJson = tenant->lastWedgeJson;
         tr.rejectedParse = tenant->rejectedParse;
         tr.rejectedCarve = tenant->rejectedCarve;
         tr.busyRejections = tenant->busyRejections;
@@ -271,7 +345,17 @@ TraceService::report() const
             : 0;
         out.tenants.push_back(std::move(tr));
     }
+    out.metricsJson = registry.snapshot().toJson();
     return out;
+}
+
+std::string
+TraceService::lastTraceJson(TenantId tenant) const
+{
+    std::lock_guard<std::mutex> lock(stateMutex);
+    if (tenant >= tenants.size())
+        return "";
+    return tenants[tenant]->lastTraceJson;
 }
 
 std::uint64_t
@@ -327,6 +411,7 @@ toJson(const ServiceReport &report)
            << ", \"carve_end\": " << t.carveEnd
            << ", \"admitted\": " << t.admitted
            << ", \"completed\": " << t.completed
+           << ", \"wedged\": " << t.wedged
            << ", \"rejected_parse\": " << t.rejectedParse
            << ", \"rejected_carve\": " << t.rejectedCarve
            << ", \"busy_rejections\": " << t.busyRejections
@@ -334,9 +419,14 @@ toJson(const ServiceReport &report)
         jsonSummary(os, "sim_makespan_cycles", t.simMakespanCycles);
         os << ",\n     ";
         jsonSummary(os, "wall_latency_seconds", t.wallLatencySeconds);
-        os << ",\n     \"tasks_per_sec\": " << t.tasksPerSec << "}";
+        os << ",\n     \"tasks_per_sec\": " << t.tasksPerSec;
+        if (!t.lastWedgeJson.empty())
+            os << ",\n     \"last_wedge\": " << t.lastWedgeJson;
+        os << "}";
     }
-    os << "\n  ]\n}\n";
+    os << "\n  ],\n  \"metrics\": "
+       << (report.metricsJson.empty() ? "null" : report.metricsJson)
+       << "\n}\n";
     return os.str();
 }
 

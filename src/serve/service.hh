@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "core/config.hh"
+#include "obs/metrics.hh"
 #include "serve/bounded_queue.hh"
 #include "serve/metrics.hh"
 #include "trace/task_trace.hh"
@@ -67,6 +68,21 @@ struct ServeConfig
 
     /** Generating threads per simulated job (round-robin). */
     unsigned genThreads = 1;
+
+    /**
+     * Record a full flight-recorder trace of every job's simulation
+     * and keep each tenant's most recent one for the Trace wire
+     * message (with wall-clock serve-stage slices spliced in). Off by
+     * default: full traces of large programs are big.
+     */
+    bool recordJobTraces = false;
+
+    /**
+     * Watchdog event budget per job simulation. A job that wedges (or
+     * exhausts the budget) retires as Outcome::Wedged with a liveness
+     * diagnosis instead of killing the daemon.
+     */
+    std::uint64_t maxEventsPerJob = ~std::uint64_t(0);
 
     /// @name Stage shape. The admission capacity is the backpressure
     /// horizon: submissions beyond it bounce with Busy.
@@ -109,9 +125,17 @@ struct TenantReport
 
     std::size_t admitted = 0;
     std::size_t completed = 0;      ///< simulated to completion
+    std::size_t wedged = 0;         ///< simulation deadlocked
     std::size_t rejectedParse = 0;  ///< malformed submission text
     std::size_t rejectedCarve = 0;  ///< program overflows the carve
     std::size_t busyRejections = 0; ///< bounced at the admission edge
+
+    /**
+     * LivenessReport JSON of the tenant's most recent wedged job
+     * (occupancy, culprit operand, flight-recorder tail) — empty when
+     * no job of this tenant ever wedged.
+     */
+    std::string lastWedgeJson;
 
     std::uint64_t simulatedTasks = 0; ///< total trace tasks completed
 
@@ -134,6 +158,9 @@ struct ServiceReport
     std::size_t executeDepth = 0;
     std::size_t reportDepth = 0;
     bool drained = false;
+
+    /** Live metrics-registry snapshot (serve.<tenant>.* counters). */
+    std::string metricsJson;
 };
 
 /** Render @p report as JSON (the wire StatsReport payload). */
@@ -187,6 +214,13 @@ class TraceService
     std::uint64_t carveEndOf(TenantId tenant) const;
     /// @}
 
+    /**
+     * Chrome JSON of @p tenant's most recently completed job — the
+     * Trace wire message. Empty when recordJobTraces is off or no job
+     * finished yet.
+     */
+    std::string lastTraceJson(TenantId tenant) const;
+
   private:
     struct Job
     {
@@ -203,9 +237,18 @@ class TraceService
         enum class Outcome : std::uint8_t {
             Ok,
             ParseError,
-            CarveOverflow
+            CarveOverflow,
+            Wedged ///< simulation deadlocked or hit the event budget
         } outcome = Outcome::Ok;
         std::chrono::steady_clock::time_point admitTime;
+
+        /// Chrome JSON of the job's simulation (recordJobTraces).
+        std::string traceJson;
+        /// LivenessReport JSON when the simulation wedged.
+        std::string wedgeJson;
+        /// Pre-formatted wall-clock serve-stage slices (pid 2),
+        /// spliced into traceJson at finish.
+        std::vector<std::string> stageSlices;
     };
 
     struct Tenant
@@ -217,12 +260,16 @@ class TraceService
 
         std::size_t admitted = 0;
         std::size_t completed = 0;
+        std::size_t wedged = 0;
         std::size_t rejectedParse = 0;
         std::size_t rejectedCarve = 0;
         std::size_t busyRejections = 0;
         std::uint64_t simulatedTasks = 0;
         LatencyRecorder simMakespan;
         LatencyRecorder wallLatency;
+
+        std::string lastWedgeJson; ///< most recent wedge diagnosis
+        std::string lastTraceJson; ///< most recent job trace
     };
 
     SubmitResult admit(Job job);
@@ -232,8 +279,17 @@ class TraceService
     void reportWorker();
     void finishJob(Job job);
 
+    /** Microseconds of service uptime (serve-slice timestamps). */
+    std::int64_t uptimeUs() const;
+    /** Bind serve.<name>.* metrics for a freshly opened tenant. */
+    void bindTenantMetrics(Tenant &tenant);
+
     ServeConfig cfg;
     std::chrono::steady_clock::time_point startTime;
+
+    /// serve.<tenant>.* counters; snapshots taken under stateMutex
+    /// (the providers read tenant fields the mutex guards).
+    obs::Registry registry;
 
     BoundedQueue<Job> parseQueue;
     BoundedQueue<Job> admitQueue;

@@ -19,6 +19,7 @@
 #include "event.hh"
 #include "exec_context.hh"
 #include "logging.hh"
+#include "obs/trace.hh"
 #include "types.hh"
 
 namespace tss
@@ -141,6 +142,8 @@ class EventQueue
         EventFn fn = std::move(slab[top.slot]);
         freeSlots.push_back(top.slot);
         ++numExecuted;
+        if (trace)
+            obs::traceBuf = trace;
         if (sink) {
             execCtx.sink = sink;
             execCtx.queue = this;
@@ -153,6 +156,8 @@ class EventQueue
         } else {
             fn();
         }
+        if (trace)
+            obs::traceBuf = nullptr;
         return true;
     }
 
@@ -191,6 +196,15 @@ class EventQueue
      * (see exec_context.hh) and cross-domain operations defer.
      */
     void setDeferSink(DeferSink *s) { sink = s; }
+
+    /**
+     * Wire the flight recorder's buffer for this shard. While set,
+     * every executed event emits into it via the thread-local
+     * obs::traceBuf, which step() scopes to the event — the TLS
+     * pointer is never left set across runs (independent Systems
+     * drain on shared host threads in tss-serve).
+     */
+    void setTraceBuf(obs::TraceBuf *t) { trace = t; }
 
   private:
     /** Ordering key referencing a slab slot; a 32-byte POD. */
@@ -236,6 +250,7 @@ class EventQueue
     Key lastKey{invalidCycle, 0, 0, noStation, 0};
     std::uint64_t numExecuted = 0;
     DeferSink *sink = nullptr;
+    obs::TraceBuf *trace = nullptr;
 };
 
 } // namespace tss

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "logging.hh"
+#include "obs/trace.hh"
 #include "runtime/work_deque.hh"
 
 namespace tss
@@ -108,6 +109,16 @@ SimEngine::workerLoop()
 }
 
 void
+SimEngine::setTracer(obs::Tracer *t)
+{
+    TSS_ASSERT(!t || t->numShards() == shards.size(),
+               "tracer shard-buffer count must match engine domains");
+    tracer = t;
+    for (unsigned d = 0; d < shards.size(); ++d)
+        shards[d]->queue.setTraceBuf(t ? t->shardBuf(d) : nullptr);
+}
+
+std::size_t
 SimEngine::applyBarrier(Cycle window_end)
 {
     merged.clear();
@@ -120,7 +131,7 @@ SimEngine::applyBarrier(Cycle window_end)
                       std::make_move_iterator(ops.end()));
     }
     if (merged.empty())
-        return;
+        return 0;
     std::sort(merged.begin(), merged.end(),
               [](const auto &a, const auto &b) {
                   return a.first < b.first;
@@ -139,7 +150,9 @@ SimEngine::applyBarrier(Cycle window_end)
     for (auto &op : merged)
         op.second();
     deferFloor = 0;
+    std::size_t applied = merged.size();
     merged.clear();
+    return applied;
 }
 
 std::uint64_t
@@ -186,7 +199,19 @@ SimEngine::run(std::uint64_t max_events)
                 backoff.pause();
         }
 
-        applyBarrier(limit + 1);
+        // Deferred NoC sends/deliveries emit trace records too: route
+        // them to the tracer's barrier buffer for the apply phase,
+        // stamp the window, then drain this window's records in
+        // DeferKey order (deterministic for any thread count).
+        if (tracer)
+            tracer->beginBarrier();
+        std::size_t applied = applyBarrier(limit + 1);
+        if (tracer) {
+            if (applied > 0)
+                tracer->recordWindowBarrier(limit + 1, applied);
+            tracer->endBarrier();
+            tracer->drainWindow();
+        }
 
         if (executed() - start >= max_events)
             break; // deterministic overshoot: checked at barriers only

@@ -45,6 +45,11 @@
 namespace tss
 {
 
+namespace obs
+{
+class Tracer;
+} // namespace obs
+
 /** The sharded, window-synchronized event engine. */
 class SimEngine
 {
@@ -78,6 +83,14 @@ class SimEngine
 
     EventQueue &shard(unsigned domain) { return shards[domain]->queue; }
 
+    /**
+     * Wire a flight recorder (or unwire with nullptr). The tracer
+     * must have one buffer per domain; the engine routes barrier-side
+     * emissions and drains the window's records after every barrier,
+     * in DeferKey order — byte-identical for any thread count.
+     */
+    void setTracer(obs::Tracer *t);
+
     /** Latest simulated time any shard has reached. */
     Cycle now() const;
 
@@ -103,13 +116,14 @@ class SimEngine
     };
 
     void drainShard(unsigned domain);
-    void applyBarrier(Cycle window_end);
+    std::size_t applyBarrier(Cycle window_end);
     void spawnWorkers();
     void workerLoop();
 
     std::vector<std::unique_ptr<Shard>> shards;
     Cycle _lookahead = 1;
     unsigned threads = 1;
+    obs::Tracer *tracer = nullptr;
 
     /// @name Worker-pool window protocol.
     /// Main publishes a window by storing the drain limit, pushing

@@ -3,8 +3,10 @@
  * tss-serve tests: disjoint per-tenant address-space carving,
  * backpressure under saturating load, graceful drain completing every
  * admitted job (the ctest TIMEOUT is the watchdog — a drain that
- * hangs fails the suite), the framed socket protocol end-to-end, and
- * the Session lifecycle contract.
+ * hangs fails the suite), the framed socket protocol end-to-end,
+ * wedged-job survival with a liveness diagnosis in the report, the
+ * job-trace round trip under --job-traces, and the Session lifecycle
+ * contract.
  */
 
 #include <sstream>
@@ -220,6 +222,81 @@ TEST(Serve, CarveOverflowRejected)
     ServiceReport report = service.report();
     EXPECT_EQ(tenantOf(report, tenant).rejectedCarve, 1u);
     EXPECT_EQ(tenantOf(report, tenant).completed, 0u);
+}
+
+TEST(Serve, WedgedJobSurvivesAndIsDiagnosed)
+{
+    // A starvation-tight event budget makes every job retire as
+    // Wedged; the daemon must survive, report the diagnosis, and keep
+    // completing later work once the budget is sane again.
+    ServeConfig cfg = tinyServeConfig();
+    cfg.maxEventsPerJob = 50;
+    TraceService service(cfg);
+    TenantId tenant = service.openTenant("stuck");
+
+    ASSERT_EQ(service.submit(tenant, chainProgram(30, 0x5000'0000))
+                  .status,
+              SubmitStatus::Accepted);
+    service.waitIdle();
+
+    ServiceReport report = service.report();
+    EXPECT_EQ(tenantOf(report, tenant).wedged, 1u);
+    EXPECT_EQ(tenantOf(report, tenant).completed, 0u);
+    const std::string &wedge = tenantOf(report, tenant).lastWedgeJson;
+    ASSERT_FALSE(wedge.empty());
+    EXPECT_NE(wedge.find("\"completed\": false"), std::string::npos);
+    EXPECT_NE(wedge.find("\"slices\""), std::string::npos);
+
+    std::string json = toJson(report);
+    EXPECT_NE(json.find("\"wedged\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"last_wedge\""), std::string::npos);
+    EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+
+    // The service is still healthy: drain retires everything.
+    service.drain();
+    EXPECT_TRUE(service.report().drained);
+}
+
+TEST(Serve, JobTraceRoundTripsOverSocket)
+{
+    std::ostringstream path;
+    path << "/tmp/tss-serve-trace-" << ::getpid() << ".sock";
+
+    ServeConfig cfg = tinyServeConfig();
+    cfg.recordJobTraces = true;
+    TraceService service(cfg);
+    SocketServer server(service, path.str());
+    ASSERT_TRUE(server.start());
+
+    ServeClient client;
+    ASSERT_TRUE(client.connect(path.str()));
+    TenantId id = 0;
+    std::uint64_t base = 0, end = 0;
+    ASSERT_TRUE(client.hello("tracer", id, base, end));
+
+    // No job has finished yet: the Trace message reports an error.
+    std::string json;
+    EXPECT_FALSE(client.trace(json));
+
+    JobId job = 0;
+    while (client.submit(chainProgram(12, 0x5000'0000), job) !=
+           SubmitStatus::Accepted)
+        ;
+    service.waitIdle();
+
+    ASSERT_TRUE(client.trace(json));
+    ASSERT_FALSE(json.empty());
+    // Simulated-cycle events plus the wall-clock serve-stage slices,
+    // spliced into one well-formed Chrome document.
+    EXPECT_NE(json.find("task.retire"), std::string::npos);
+    EXPECT_NE(json.find("serve.parse"), std::string::npos);
+    EXPECT_NE(json.find("serve.execute"), std::string::npos);
+    EXPECT_EQ(json.substr(json.size() - 4), "\n]}\n");
+    EXPECT_EQ(json, service.lastTraceJson(id));
+
+    ASSERT_TRUE(client.shutdown());
+    server.waitShutdown();
+    server.stop();
 }
 
 TEST(Serve, SimMakespanIsDeterministicAcrossServices)

@@ -19,6 +19,15 @@
  *       [service knobs: --gen-threads=N --admit-queue=N
  *        --stage-queue=N --parse-workers=N --admit-workers=N
  *        --execute-workers=N --carve-mb=N]
+ *       [observability: --job-traces --max-events-per-job=N, plus
+ *        the shared --trace/--trace-filter/--trace-tail knobs]
+ *
+ * With --job-traces every job simulates under a full flight recorder;
+ * a tenant fetches its latest job's Chrome trace (with wall-clock
+ * serve-stage slices spliced in) via the Trace wire message. Wedged
+ * tenant programs no longer kill the daemon: they retire as wedged
+ * jobs whose liveness diagnosis (slice occupancy, culprit operand,
+ * flight-recorder tail) lands in the Stats report.
  */
 
 #include <iostream>
@@ -50,6 +59,10 @@ main(int argc, char **argv)
         static_cast<unsigned>(args.getLong("execute-workers", 2));
     cfg.carveBytes = static_cast<std::uint64_t>(
                          args.getLong("carve-mb", 256)) << 20;
+    cfg.recordJobTraces = args.has("job-traces");
+    long max_events = args.getLong("max-events-per-job", 0);
+    if (max_events > 0)
+        cfg.maxEventsPerJob = static_cast<std::uint64_t>(max_events);
 
     std::string socket_path =
         args.get("socket", "/tmp/tss-serve.sock");
