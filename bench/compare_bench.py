@@ -486,6 +486,19 @@ def compare_sim(baseline, fresh, gate):
                 f"sim determinism {key}: fresh {new_det[key]} != "
                 f"baseline {value}")
 
+    # Window/fusion counters are pure functions of simulated state
+    # (SimEngine::WindowStats): gated exactly, like determinism.
+    # Baselines captured before the counters existed skip the gate.
+    base_win = baseline.get("windows", {})
+    new_win = fresh.get("windows", {})
+    for key, value in base_win.items():
+        if key not in new_win:
+            gate.failures.append(f"sim windows {key} missing")
+        elif new_win[key] != value:
+            gate.failures.append(
+                f"sim windows {key}: fresh {new_win[key]} != "
+                f"baseline {value}")
+
     fresh_rows = fresh.get("sim_scaling", [])
     if not fresh_rows:
         gate.failures.append("sim fresh has no sim_scaling rows")
@@ -726,6 +739,10 @@ def selftest():
         "machine": machine_fingerprint(),
         "determinism": {"makespan": 1000, "events": 2000,
                         "messages": 300},
+        "windows": {"lookahead": "matrix", "backend_lookahead": 6,
+                    "windows": 500, "single_shard": 400, "fused": 350,
+                    "multi_shard": 90, "occupancy_sum": 600,
+                    "max_occupancy": 3},
         "sim_scaling": [
             {"sim_threads": 1, "wall_seconds": 1.0,
              "events_per_sec": 2000.0, "speedup": 1.0,
@@ -743,6 +760,16 @@ def selftest():
     g = Gate(0.10)
     compare_sim(sim, drifted, g)
     expect("sim determinism drift fails", g.failures != [])
+    fused_drift = copy.deepcopy(sim)
+    fused_drift["windows"]["fused"] = 351
+    g = Gate(0.10)
+    compare_sim(sim, fused_drift, g)
+    expect("sim window-counter drift fails", g.failures != [])
+    no_windows = copy.deepcopy(sim)
+    del no_windows["windows"]
+    g = Gate(0.10)
+    compare_sim(sim, no_windows, g)
+    expect("sim missing windows section fails", g.failures != [])
     diverged = copy.deepcopy(sim)
     diverged["sim_scaling"][1]["bit_identical"] = False
     g = Gate(0.10)

@@ -242,9 +242,20 @@ struct TrsSpaceMsg : ProtoMsg
  */
 struct DecodeOperandMsg : ProtoMsg
 {
+    /**
+     * Operand packet size — also the smallest message any station
+     * ever injects to *itself* (a DecodeAdmit re-arbitration carries
+     * a stashed operand, below). The delay-matrix lookahead caps
+     * every self-sending domain's window at this message's
+     * serialization delay so the engine's conservative floor is
+     * provably inert (see sim/sim_engine.hh and
+     * TopologyNetwork::domainLookahead).
+     */
+    static constexpr Bytes packetBytes = 28;
+
     DecodeOperandMsg(OperandId operand, Dir direction,
                      std::uint64_t address, Bytes object_bytes)
-        : ProtoMsg(MsgType::DecodeOperand, 28), op(operand),
+        : ProtoMsg(MsgType::DecodeOperand, packetBytes), op(operand),
           dir(direction), addr(address), objectBytes(object_bytes)
     {}
 

@@ -78,6 +78,19 @@ struct RunResult
     double maxLinkUtilization = 0;      ///< busiest link busy fraction
     /// @}
 
+    /// @name Parallel-engine window structure. Pure functions of
+    /// simulated state (never of the host thread count) — gated
+    /// exactly in BENCH_sim.json. See SimEngine::WindowStats.
+    /// @{
+    std::uint64_t simWindows = 0;          ///< lookahead windows run
+    std::uint64_t simSingleShardWindows = 0; ///< fused inline windows
+    std::uint64_t simFusedWindows = 0;     ///< consecutive single-shard
+    std::uint64_t simMultiShardWindows = 0; ///< pool-dispatched windows
+    std::uint64_t simWindowOccupancySum = 0; ///< Σ active shards
+    std::uint64_t simMaxWindowOccupancy = 0; ///< peak active shards
+    std::vector<Cycle> simDomainLookahead; ///< window length per domain
+    /// @}
+
     /** Trace indices ordered by execution start time. */
     std::vector<std::uint32_t> startOrder;
 
@@ -194,10 +207,11 @@ class System
     const PipelineConfig &config() const { return cfg; }
 
     /**
-     * The backend domain's event-queue shard (domain 0 — also the
-     * only shard with one pipeline, the classic configuration).
+     * The backend domain's event-queue shard: the dedicated last
+     * domain carrying the shared network, DMA and scheduler, so
+     * frontend pipeline windows never serialize behind it.
      */
-    EventQueue &eventQueue() { return engine->shard(0); }
+    EventQueue &eventQueue() { return engine->shard(cfg.numPipelines); }
 
     /** The sharded windowed engine driving this machine. */
     SimEngine &simEngine() { return *engine; }
@@ -249,7 +263,9 @@ class System
 
     System(const PipelineConfig &config, const TaskTrace &task_trace)
         : cfg(config), trace(task_trace),
-          engine(std::make_unique<SimEngine>(config.numPipelines,
+          // One domain per pipeline plus the dedicated backend
+          // domain (network / DMA / scheduler).
+          engine(std::make_unique<SimEngine>(config.numPipelines + 1,
                                              config.simThreads)),
           registry(task_trace)
     {}

@@ -396,7 +396,7 @@ Trs::applyFinish(std::uint32_t trace_index, Cycle flush_at)
     // in global inject order (routing directly here, with a future
     // inject cycle, would reserve lanes ahead of earlier traffic and
     // charge spurious contention).
-    scheduleAt(std::max(flush_at, deferFloor), [this] {
+    scheduleAt(std::max(flush_at, eventQueue().windowFloor()), [this] {
         auto wake = [this](NodeId dst) {
             auto m = std::make_unique<WatermarkAdvanceMsg>();
             m->src = nodeId();

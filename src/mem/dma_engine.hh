@@ -78,7 +78,7 @@ class DmaEngine : public SimObject
         ++transfers;
         bytesCopied += bytes;
         if (done) {
-            Cycle at = std::max(channelFreeAt, deferFloor);
+            Cycle at = std::max(channelFreeAt, q.windowFloor());
             q.scheduleStation(at, station,
                               [cb = std::move(done)] { cb(); });
         }

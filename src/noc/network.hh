@@ -54,6 +54,14 @@ class Network : public SimObject
         nodeQueues[node] = &eq;
     }
 
+    /** The queue @p node is bound to, or nullptr if unbound. */
+    EventQueue *
+    boundQueue(NodeId node) const
+    {
+        auto it = nodeQueues.find(node);
+        return it == nodeQueues.end() ? nullptr : it->second;
+    }
+
     /**
      * Inject @p msg; ownership passes to the network. Routes now, or
      * defers to the window barrier under the parallel engine.
@@ -86,6 +94,37 @@ class Network : public SimObject
      */
     virtual Cycle minDeliveryDelay() const = 0;
 
+    /**
+     * Lower bound on inject-to-delivery delay from station @p src to
+     * a *distinct* station @p dst — the per-pair refinement of
+     * minDeliveryDelay() behind the engine's delay-matrix lookahead
+     * (adjacent stations are one hop; cross-ring routes many more).
+     * The base implementation returns the machine-wide minimum, so
+     * networks without a distance model degrade to the global window.
+     */
+    virtual Cycle
+    pairDelay(NodeId src, NodeId dst) const
+    {
+        (void)src;
+        (void)dst;
+        return minDeliveryDelay();
+    }
+
+    /**
+     * Lower bound on the delay of a station's message *to itself* of
+     * @p bytes size (pure serialization for the placed topologies,
+     * plus the end-to-end latency for the fixed one). Self-messages
+     * are the only deliveries the conservative floor may clamp, so
+     * per-domain lookaheads are capped at this bound to keep the
+     * floor provably inert (see sim/sim_engine.hh).
+     */
+    virtual Cycle
+    selfDelay(Bytes bytes) const
+    {
+        (void)bytes;
+        return minDeliveryDelay();
+    }
+
     std::uint64_t messagesSent() const { return numMessages.value(); }
     const Distribution &latencyStat() const { return latencies; }
 
@@ -93,16 +132,20 @@ class Network : public SimObject
     /**
      * Deliver @p msg at absolute @p when, clamped so that messages
      * between the same pair of nodes never reorder, and floored at
-     * the applying window's end (deferFloor; only same-station
-     * self-messages can compute below it — see sim/exec_context.hh).
-     * The delivery event is scheduled on the destination's bound
-     * queue, stamped with the destination station.
+     * the destination shard's window end (EventQueue::windowFloor;
+     * only same-station self-messages can compute below it — see
+     * sim/sim_engine.hh). The delivery event is scheduled on the
+     * destination's bound queue, stamped with the destination
+     * station.
      */
     void
     deliverAt(Cycle when, MessagePtr msg)
     {
-        if (when < deferFloor)
-            when = deferFloor;
+        auto qit = nodeQueues.find(msg->dst);
+        EventQueue &q =
+            qit == nodeQueues.end() ? eventQueue() : *qit->second;
+        if (when < q.windowFloor())
+            when = q.windowFloor();
 
         auto key = pairKey(msg->src, msg->dst);
         auto &last = lastDelivery[key];
@@ -124,9 +167,6 @@ class Network : public SimObject
                    "message to unattached node %d", msg->dst);
         Endpoint *ep = it->second;
         NodeId dst = msg->dst;
-        auto qit = nodeQueues.find(dst);
-        EventQueue &q =
-            qit == nodeQueues.end() ? eventQueue() : *qit->second;
         q.scheduleStation(when, dst, [ep, m = std::move(msg)]() mutable {
             ep->receive(std::move(m));
         });

@@ -166,6 +166,38 @@ TraceBuf::take()
     return std::exchange(records, {});
 }
 
+std::vector<TraceRecord>
+TraceBuf::ringTail() const
+{
+    std::vector<TraceRecord> out;
+    if (ring.empty() || ringCount == 0)
+        return out;
+    std::uint64_t kept = std::min<std::uint64_t>(ringCount, ring.size());
+    out.reserve(static_cast<std::size_t>(kept));
+    for (std::uint64_t i = ringCount - kept; i < ringCount; ++i)
+        out.push_back(ring[i & ringMask]);
+    return out;
+}
+
+namespace
+{
+
+/** The global record order: the DeferKey-style (when, station, seq,
+ *  sub) key, unique across shards (a station lives on one shard). */
+bool
+keyLess(const TraceRecord &x, const TraceRecord &y)
+{
+    if (x.when != y.when)
+        return x.when < y.when;
+    if (x.station != y.station)
+        return x.station < y.station;
+    if (x.seq != y.seq)
+        return x.seq < y.seq;
+    return x.sub < y.sub;
+}
+
+} // namespace
+
 Tracer::Tracer(TraceMode mode, std::uint32_t filter_mask,
                unsigned num_shards, std::size_t tail_records)
     : _mode(mode), mask(filter_mask), barrier(filter_mask),
@@ -174,6 +206,12 @@ Tracer::Tracer(TraceMode mode, std::uint32_t filter_mask,
     shardBufs.reserve(num_shards);
     for (unsigned i = 0; i < num_shards; ++i)
         shardBufs.emplace_back(filter_mask);
+    if (_mode == TraceMode::Tail) {
+        // Bounded tail: preallocated rings, no per-window drain.
+        for (TraceBuf &buf : shardBufs)
+            buf.setRing(tailCap);
+        barrier.setRing(tailCap);
+    }
 }
 
 void
@@ -198,6 +236,9 @@ Tracer::recordWindowBarrier(Cycle window_end, std::size_t applied)
 void
 Tracer::drainWindow()
 {
+    if (_mode == TraceMode::Tail)
+        return; // rings self-retain; end-sorted once in tailJson()
+
     std::vector<TraceRecord> window;
     for (TraceBuf &buf : shardBufs) {
         std::vector<TraceRecord> recs = buf.take();
@@ -208,16 +249,7 @@ Tracer::drainWindow()
     if (window.empty())
         return;
 
-    std::stable_sort(window.begin(), window.end(),
-                     [](const TraceRecord &x, const TraceRecord &y) {
-                         if (x.when != y.when)
-                             return x.when < y.when;
-                         if (x.station != y.station)
-                             return x.station < y.station;
-                         if (x.seq != y.seq)
-                             return x.seq < y.seq;
-                         return x.sub < y.sub;
-                     });
+    std::stable_sort(window.begin(), window.end(), keyLess);
 
     total += window.size();
     for (const TraceRecord &r : window) {
@@ -227,6 +259,17 @@ Tracer::drainWindow()
     }
     if (_mode == TraceMode::Full)
         full.insert(full.end(), window.begin(), window.end());
+}
+
+std::uint64_t
+Tracer::totalRecords() const
+{
+    if (_mode != TraceMode::Tail)
+        return total;
+    std::uint64_t n = barrier.emitted();
+    for (const TraceBuf &buf : shardBufs)
+        n += buf.emitted();
+    return n;
 }
 
 void
@@ -370,8 +413,24 @@ Tracer::chromeJson() const
 std::string
 Tracer::tailJson() const
 {
+    std::vector<TraceRecord> records;
+    if (_mode == TraceMode::Tail) {
+        for (const TraceBuf &buf : shardBufs) {
+            std::vector<TraceRecord> recs = buf.ringTail();
+            records.insert(records.end(), recs.begin(), recs.end());
+        }
+        std::vector<TraceRecord> brecs = barrier.ringTail();
+        records.insert(records.end(), brecs.begin(), brecs.end());
+        std::stable_sort(records.begin(), records.end(), keyLess);
+        if (records.size() > tailCap)
+            records.erase(records.begin(),
+                          records.end() -
+                              static_cast<std::ptrdiff_t>(tailCap));
+    } else {
+        records.assign(tail.begin(), tail.end());
+    }
     std::ostringstream os;
-    writeChrome(os, std::vector<TraceRecord>(tail.begin(), tail.end()));
+    writeChrome(os, records);
     return os.str();
 }
 

@@ -10,12 +10,15 @@
  * event that emitted it — (cycle, station, per-station sequence) from
  * the thread-local ExecContext plus a per-event sub-index — and
  * barrier-side records take (cycle, sentinel station, barrier
- * sequence). At every window barrier the Tracer concatenates the
- * shard buffers in shard-index order plus the barrier buffer and
- * stable-sorts by that key. Both the per-shard contents and the
- * barrier apply order are pure functions of simulated state, so the
- * drained record stream — and the exported Chrome trace-event JSON —
- * is byte-identical for any --sim-threads.
+ * sequence). In Full mode, at every window barrier the Tracer
+ * concatenates the shard buffers in shard-index order plus the
+ * barrier buffer and stable-sorts by that key. In Tail mode the
+ * buffers are preallocated power-of-two rings — one masked store per
+ * record, nothing per window — and the export key-sorts the
+ * surviving per-shard tails once at the end. Both the per-shard
+ * contents and the barrier apply order are pure functions of
+ * simulated state, so the drained record stream — and the exported
+ * Chrome trace-event JSON — is byte-identical for any --sim-threads.
  *
  * The exporter emits integers only (cycle timestamps, packed ids), so
  * the bytes are also host-independent.
@@ -90,6 +93,14 @@ struct TraceRecord
  * Per-shard (or barrier-side) record buffer. Only the draining thread
  * of the owning shard appends; the Tracer's drainWindow() — on the
  * barrier thread, with all shards quiescent — moves records out.
+ *
+ * Two storage modes. Growable (Full-mode default): records append to
+ * a vector that drainWindow() takes every window. Ring (Tail mode,
+ * via setRing): records overwrite a preallocated power-of-two ring —
+ * one masked store per record, no allocation, no per-window drain —
+ * and the Tracer end-sorts the surviving tails once at export. Both
+ * retain identical per-record content, so the tail export stays a
+ * pure function of simulated state.
  */
 class TraceBuf
 {
@@ -99,6 +110,29 @@ class TraceBuf
         std::numeric_limits<std::int32_t>::max();
 
     explicit TraceBuf(std::uint32_t mask = cat::all) : mask(mask) {}
+
+    /**
+     * Switch to ring storage keeping the last >= @p cap records
+     * (rounded up to a power of two). Call before any emit.
+     */
+    void
+    setRing(std::size_t cap)
+    {
+        std::size_t n = 1;
+        while (n < cap)
+            n <<= 1;
+        ring.assign(n, TraceRecord{});
+        ringMask = n - 1;
+    }
+
+    /** Records appended (post-filter), including overwritten ones. */
+    std::uint64_t emitted() const { return ringCount; }
+
+    /**
+     * The ring's surviving records in emission order (oldest first).
+     * Empty for growable buffers.
+     */
+    std::vector<TraceRecord> ringTail() const;
 
     /**
      * Append a record. Keyed by the executing event's ExecContext
@@ -134,17 +168,23 @@ class TraceBuf
             r.seq = barrierSeq++;
             r.sub = 0;
         }
-        records.push_back(r);
+        if (ring.empty())
+            records.push_back(r);
+        else
+            ring[ringCount++ & ringMask] = r;
     }
 
-    bool empty() const { return records.empty(); }
+    bool empty() const { return records.empty() && ringCount == 0; }
     std::size_t size() const { return records.size(); }
 
-    /** Move the buffered records out (barrier side). */
+    /** Move the buffered records out (growable mode, barrier side). */
     std::vector<TraceRecord> take();
 
   private:
     std::vector<TraceRecord> records;
+    std::vector<TraceRecord> ring; ///< non-empty iff ring mode
+    std::uint64_t ringCount = 0;   ///< appends since setRing
+    std::uint64_t ringMask = 0;
     std::uint32_t mask;
     Cycle keyWhen = invalidCycle;
     std::int32_t keyStation = -1;
@@ -214,22 +254,30 @@ class Tracer
      * Merge this window's shard + barrier buffers into the retained
      * log: concatenate in shard-index order (barrier buffer last) and
      * stable-sort by (when, station, seq, sub). Deterministic for any
-     * host thread count by construction.
+     * host thread count by construction. In Tail mode this is a no-op
+     * — the ring buffers retain their own tails and tailJson()
+     * end-sorts them once, so the per-window concat + sort never runs
+     * on the hot path.
      */
     void drainWindow();
 
     /** Name a track for the exporter's thread_name metadata. */
     void setTrackName(int pid, std::int64_t tid, std::string name);
 
-    /** Records retained (Full mode) or seen (any mode). */
-    std::uint64_t totalRecords() const { return total; }
+    /** Records emitted (post-filter), including ring overwrites. */
+    std::uint64_t totalRecords() const;
     const std::vector<TraceRecord> &log() const { return full; }
 
     /** Full Chrome trace-event JSON document (Full mode). */
     void exportChromeJson(std::ostream &os) const;
     std::string chromeJson() const;
 
-    /** Bounded-tail Chrome JSON — what LivenessReport attaches. */
+    /**
+     * Bounded-tail Chrome JSON — what LivenessReport attaches. Tail
+     * mode: the union of the per-shard rings (each a deterministic
+     * per-shard suffix), key-sorted, trimmed to the last tailCap
+     * records. Full mode: the last tailCap of the drained stream.
+     */
     std::string tailJson() const;
 
   private:

@@ -139,13 +139,21 @@ SocketServer::serveConnection(int fd)
         }
         case MsgType::Shutdown:
             service.drain();
+            // Complete the Done handshake BEFORE waking
+            // waitShutdown(): stop() severs every live connection,
+            // and severing this one ahead of the reply write made
+            // the write raise SIGPIPE and killed the daemon whenever
+            // the main thread won the race (seen under load on a
+            // 1-core host). Write first, then signal shutdown and
+            // leave the read loop.
+            writeFrame(fd, {MsgType::Done, ""});
             {
                 std::lock_guard<std::mutex> lock(mtx);
                 shutdownRequested = true;
             }
             shutdownCv.notify_all();
-            reply = {MsgType::Done, ""};
-            break;
+            ::close(fd);
+            return;
         default:
             reply = {MsgType::Error, "unknown message type"};
             break;

@@ -13,6 +13,7 @@
 #define TSS_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
+#include <deque>
 #include <queue>
 #include <vector>
 
@@ -187,6 +188,28 @@ class EventQueue
         return n;
     }
 
+    /**
+     * runUntil that additionally appends the firing time of every
+     * event executed strictly after @p ahead_after to @p log, in
+     * execution order. The parallel engine uses it to let a wide
+     * domain run ahead of the global window grid while keeping a
+     * virtual record of when those events would have been pending
+     * (SimEngine::virtualNext).
+     */
+    std::uint64_t
+    runUntil(Cycle limit, Cycle ahead_after, std::deque<Cycle> *log)
+    {
+        std::uint64_t n = 0;
+        while (!heap.empty() && heap.top().when <= limit) {
+            if (heap.top().when > ahead_after)
+                log->push_back(heap.top().when);
+            if (!step())
+                break;
+            ++n;
+        }
+        return n;
+    }
+
     /** Callback slots currently parked in the slab (for tests). */
     std::size_t slabCapacity() const { return slab.size(); }
 
@@ -205,6 +228,27 @@ class EventQueue
      * drain on shared host threads in tss-serve).
      */
     void setTraceBuf(obs::TraceBuf *t) { trace = t; }
+
+    /**
+     * Conservative floor on deferred operations that schedule onto
+     * this queue: the end of the global-grid window just drained, set
+     * by the engine around the barrier's apply phase (0 outside it,
+     * making the bound a no-op — bare queues and the software-runtime
+     * model are unaffected). Deliveries that compute below it — only
+     * same-station self-messages can, see sim/sim_engine.hh — are
+     * lifted to the floor by the apply closures (network delivery,
+     * DMA completion, TRS watermark flush) as
+     * `max(computed_time, windowFloor())`. The floor is the same for
+     * every shard — the delay-matrix mode lets wide domains run ahead
+     * of the grid but never moves the grid itself — which is what
+     * keeps the clamp bit-identical across lookahead modes.
+     *
+     * Per queue rather than process-global: independent Systems
+     * simulating concurrently (tss-serve runs one per execute worker)
+     * must never observe each other's window ends.
+     */
+    void setWindowFloor(Cycle floor) { _windowFloor = floor; }
+    Cycle windowFloor() const { return _windowFloor; }
 
   private:
     /** Ordering key referencing a slab slot; a 32-byte POD. */
@@ -249,6 +293,7 @@ class EventQueue
     Cycle _now = 0;
     Key lastKey{invalidCycle, 0, 0, noStation, 0};
     std::uint64_t numExecuted = 0;
+    Cycle _windowFloor = 0;
     DeferSink *sink = nullptr;
     obs::TraceBuf *trace = nullptr;
 };

@@ -5,6 +5,4 @@ namespace tss
 
 thread_local ExecContext execCtx;
 
-thread_local Cycle deferFloor = 0;
-
 } // namespace tss

@@ -121,20 +121,6 @@ struct ExecContext
 
 extern thread_local ExecContext execCtx;
 
-/**
- * Lower bound on the simulated time a deferred operation may schedule
- * at: the end of the window whose barrier is applying it (0 outside a
- * barrier, making the bound a no-op). Set by the engine around the
- * apply phase; read by the apply closures (network delivery, DMA
- * completion) as `max(computed_time, deferFloor)`.
- *
- * Thread-local, like execCtx: a barrier applies on one thread, so the
- * floor must only be visible to that thread's closures. Independent
- * Systems simulating concurrently (tss-serve runs one per execute
- * worker) must not observe each other's window ends.
- */
-extern thread_local Cycle deferFloor;
-
 } // namespace tss
 
 #endif // TSS_SIM_EXEC_CONTEXT_HH

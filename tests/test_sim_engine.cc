@@ -248,9 +248,9 @@ TEST(SimEngine, ConcurrentSystemsAreIndependent)
 {
     // Independent Systems simulating on different host threads (the
     // tss-serve execute pool runs one per worker) must not perturb
-    // each other: every per-event context the engine uses — execCtx
-    // and the barrier's deferFloor — is thread-local, never
-    // process-global. Regression for a shared deferFloor, which let
+    // each other: every per-event context the engine uses — the
+    // thread-local execCtx and each queue's windowFloor — is scoped
+    // to one engine. Regression for a process-shared floor, which let
     // one engine's window end leak into another engine's delivery
     // clamp (intermittently shifted makespans, and double version
     // release when events landed at corrupted cycles).
@@ -287,8 +287,8 @@ TEST(SimEngine, ConcurrentSystemsAreIndependent)
 TEST(SimEngine, ThreadsClampToDomainsAndOverClampIsIdentical)
 {
     // simThreads beyond the domain count clamps (numPipelines = 1 has
-    // a single shard, so 8 threads degenerate to inline draining) and
-    // still produces the sequential result.
+    // one pipeline shard plus the backend domain, so 8 threads clamp
+    // to 2) and still produces the sequential result.
     TaskTrace trace = makeWorkload("MatMul", 0.05, 7);
     PipelineConfig cfg = paperConfig(16);
 
@@ -296,7 +296,7 @@ TEST(SimEngine, ThreadsClampToDomainsAndOverClampIsIdentical)
     RunResult baseline = runHardware(cfg, trace);
     cfg.simThreads = 8;
     auto pipeline = SystemBuilder(cfg, trace).build();
-    EXPECT_EQ(pipeline->simEngine().effectiveThreads(), 1u);
+    EXPECT_EQ(pipeline->simEngine().effectiveThreads(), 2u);
     RunResult clamped = pipeline->run();
     expectIdentical(clamped, baseline, "over-clamped threads");
 }

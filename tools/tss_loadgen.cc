@@ -13,6 +13,7 @@
  *        [--shutdown]
  */
 
+#include <csignal>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -50,6 +51,10 @@ chainProgram(unsigned tasks)
 int
 main(int argc, char **argv)
 {
+    // A daemon that dies mid-conversation must fail the request,
+    // not kill the load generator with SIGPIPE.
+    std::signal(SIGPIPE, SIG_IGN);
+
     tss::CliArgs args(argc, argv);
     std::string socket_path =
         args.get("socket", "/tmp/tss-serve.sock");

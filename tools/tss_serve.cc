@@ -30,6 +30,7 @@
  * flight-recorder tail) lands in the Stats report.
  */
 
+#include <csignal>
 #include <iostream>
 
 #include "driver/cli.hh"
@@ -40,6 +41,10 @@
 int
 main(int argc, char **argv)
 {
+    // A client that disconnects mid-reply must fail that one write
+    // (writeFrame returns false), not kill the daemon with SIGPIPE.
+    std::signal(SIGPIPE, SIG_IGN);
+
     tss::CliArgs args(argc, argv);
     tss::RunOptions opts = tss::RunOptions::parse(args);
 
